@@ -1,0 +1,44 @@
+"""Table 2: the concurrency bugs studied.
+
+Reports, per bug: the repository id it is modeled on, its kind
+(atomicity violation vs. race), the failing execution's length, and the
+thread count — the analogue of the paper's id / description /
+exec. time / threads columns.
+"""
+
+from repro.runtime import MulticoreScheduler
+
+from .conftest import print_table
+
+
+def test_table2_bug_characteristics(suite):
+    headers = ["bugs", "id", "description", "exec. steps", "exec. time",
+               "threads"]
+    rows = []
+    for scenario, bundle, stress in suite:
+        rows.append([
+            scenario.name,
+            scenario.paper_id,
+            scenario.kind,
+            stress.result.steps,
+            "%.3fs" % (stress.wall_seconds / max(stress.runs_tried, 1)),
+            len(bundle.program.threads),
+        ])
+        assert stress.result.failed
+        assert len(bundle.program.threads) in (2, 3)  # paper: 2-3 threads
+    print_table("Table 2: concurrency bugs studied", headers, rows)
+
+
+def test_table2_failing_run_cost(benchmark, suite):
+    """One production (multicore) run of the whole suite."""
+    def run_all():
+        steps = 0
+        for scenario, bundle, stress in suite:
+            execution = bundle.execution(
+                MulticoreScheduler(seed=stress.seed),
+                input_overrides=scenario.input_overrides)
+            steps += execution.run().steps
+        return steps
+
+    total = benchmark(run_all)
+    assert total > 0

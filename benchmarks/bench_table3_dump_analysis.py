@@ -1,0 +1,55 @@
+"""Table 3: core dump analysis.
+
+Paper shape: failing and aligned dumps have roughly the same size; many
+variables are reachable but few differ; CSVs are a small fraction of
+the compared shared variables; index lengths are tens of entries.
+"""
+
+from repro.coredump import compare_dumps, dump_from_json, dump_to_json
+
+from .conftest import print_table
+
+
+def test_table3_rows(suite_reports):
+    headers = ["bugs", "core dump (F+P bytes)", "vars/diffs", "shared/CSV",
+               "len(index)"]
+    rows = []
+    for name, report in suite_reports.items():
+        rows.append([
+            name,
+            "%d/%d" % (report.fail_dump_bytes, report.aligned_dump_bytes),
+            "%d/%d" % (report.vars_compared, report.diff_count),
+            "%d/%d" % (report.shared_compared, report.csv_count),
+            report.index_len,
+        ])
+        # paper shape assertions
+        ratio = report.fail_dump_bytes / report.aligned_dump_bytes
+        assert 0.5 < ratio < 2.0, "dumps should be roughly the same size"
+        assert report.diff_count <= report.vars_compared
+        assert 1 <= report.csv_count <= report.shared_compared
+        # CSVs are a small fraction of compared shared variables
+        assert report.csv_count <= max(2, report.shared_compared // 2)
+        assert report.index_len >= 2
+    print_table("Table 3: core dump analysis", headers, rows)
+
+
+def test_table3_dump_compare_cost(benchmark, suite, suite_reports):
+    """Benchmark: serialize + parse + diff one pair of dumps."""
+    scenario, bundle, stress = suite[0]
+
+    from repro.pipeline.reproducer import run_passing_with_alignment, \
+        ReproductionConfig
+    from repro.indexing import reverse_engineer_index
+
+    index = reverse_engineer_index(stress.dump, bundle.analysis)
+    _, aligned, _, _, _ = run_passing_with_alignment(
+        bundle, stress.dump, ReproductionConfig(), index=index,
+        input_overrides=scenario.input_overrides)
+
+    def parse_and_diff():
+        fail = dump_from_json(dump_to_json(stress.dump))
+        passing = dump_from_json(dump_to_json(aligned))
+        return compare_dumps(fail, passing)
+
+    comparison = benchmark(parse_and_diff)
+    assert comparison.vars_compared > 0

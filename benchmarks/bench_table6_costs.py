@@ -1,0 +1,61 @@
+"""Table 6: other (one-time) costs.
+
+Paper shape: core dump parsing dominates the analysis cost (their GDB
+string interface; our JSON decode + reconstruction), dump diffing is
+milliseconds, slicing is bounded by the trace window.  All are one-time
+costs paid on the first re-execution only.
+"""
+
+from .conftest import print_table
+
+
+def test_table6_rows(suite_reports):
+    headers = ["bugs", "dump parsing", "diff", "slicing",
+               "reverse index", "align run"]
+    rows = []
+    for name, report in suite_reports.items():
+        t = report.timings
+        rows.append([
+            name,
+            "%.4fs" % t.dump_parse_s,
+            "%.4fs" % t.dump_diff_s,
+            "%.4fs" % t.slicing_s,
+            "%.4fs" % t.reverse_index_s,
+            "%.4fs" % t.align_run_s,
+        ])
+        assert t.dump_parse_s >= 0
+        assert t.dump_diff_s >= 0
+    print_table("Table 6: other costs (one-time, first re-execution)",
+                headers, rows)
+
+
+def test_table6_slicing_cost(benchmark, suite):
+    """Benchmark: a backward slice over a full passing-run trace."""
+    from repro.indexing import reverse_engineer_index
+    from repro.pipeline.reproducer import run_passing_with_alignment, \
+        ReproductionConfig
+    from repro.slicing import DynamicSlicer
+
+    scenario, bundle, stress = suite[0]
+    index = reverse_engineer_index(stress.dump, bundle.analysis)
+    alignment, _, events, _, _ = run_passing_with_alignment(
+        bundle, stress.dump, ReproductionConfig(), index=index,
+        input_overrides=scenario.input_overrides)
+
+    def slice_once():
+        slicer = DynamicSlicer(events)
+        return slicer.slice_from(alignment.criterion_locs,
+                                 criterion_step=alignment.criterion_step)
+
+    distances = benchmark(slice_once)
+    assert distances
+
+
+def test_table6_reverse_engineering_cost(benchmark, suite):
+    """Benchmark: Algorithm 1 on a failure dump."""
+    from repro.indexing import reverse_engineer_index
+
+    scenario, bundle, stress = suite[0]
+
+    index = benchmark(reverse_engineer_index, stress.dump, bundle.analysis)
+    assert len(index) >= 2

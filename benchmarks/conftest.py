@@ -1,0 +1,72 @@
+"""Shared benchmark fixtures.
+
+Every table draws on the same per-bug pipeline artifacts (stress dump,
+alignment, comparison, searches), so they are computed once per session
+and cached.  ``suite_reports`` is the full Table-2..4/6 pipeline;
+``instcount_reports`` re-runs alignment + search with the Table-5
+instruction-count baseline.
+"""
+
+import pytest
+
+from repro.bugs import table2_scenarios
+from repro.pipeline import (
+    ProgramBundle,
+    ReproductionConfig,
+    reproduce,
+    stress_test,
+)
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """(scenario, bundle, stress) for each Table 2 bug."""
+    entries = []
+    for scenario in table2_scenarios():
+        bundle = ProgramBundle(scenario.build())
+        stress = stress_test(bundle,
+                             input_overrides=scenario.input_overrides,
+                             expected_kind=scenario.expected_fault,
+                             seeds=range(8000))
+        entries.append((scenario, bundle, stress))
+    return entries
+
+
+@pytest.fixture(scope="session")
+def suite_reports(suite):
+    """Full pipeline report per bug (EI-based alignment)."""
+    reports = {}
+    for scenario, bundle, stress in suite:
+        reports[scenario.name] = reproduce(
+            bundle, failure_dump=stress.dump,
+            input_overrides=scenario.input_overrides)
+    return reports
+
+
+@pytest.fixture(scope="session")
+def instcount_reports(suite):
+    """Pipeline reports under the instruction-count aligner (Table 5)."""
+    config = ReproductionConfig(aligner="instcount",
+                                heuristics=("temporal",),
+                                include_chess=False)
+    reports = {}
+    for scenario, bundle, stress in suite:
+        reports[scenario.name] = reproduce(
+            bundle, failure_dump=stress.dump,
+            input_overrides=scenario.input_overrides, config=config)
+    return reports
+
+
+def print_table(title, headers, rows):
+    """Render one paper-shaped table to the terminal."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print()
+    print("=" * len(line))
+    print(title)
+    print("=" * len(line))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,44 @@
+"""repro — reproduction of *Analyzing Multicore Dumps to Facilitate
+Concurrency Bug Reproduction* (Weeratunge, Zhang & Jagannathan,
+ASPLOS 2010).
+
+The package turns a failure core dump from a (simulated) multicore run
+into a failure-inducing schedule on a single core:
+
+    >>> from repro import bugs, pipeline
+    >>> scenario = bugs.get_scenario("fig1")
+    >>> bundle = pipeline.ProgramBundle(scenario.build())
+    >>> report = pipeline.reproduce(bundle)
+    >>> report.searches["chessX+dep"].reproduced
+    True
+
+Layers (bottom-up): ``lang`` (mini concurrent language + flat IR),
+``analysis`` (CFG / post-dominators / control dependence), ``runtime``
+(interpreter, schedulers, checkpoints), ``coredump`` (snapshots,
+reference-path diffing), ``indexing`` (execution indexing: online,
+Algorithm 1 reverse engineering, alignment), ``slicing`` (dynamic
+slicing, CSV prioritization), ``search`` (CHESS and Algorithm 2),
+``pipeline`` (end-to-end), ``bugs`` (the evaluation suite).
+"""
+
+from . import analysis, bugs, coredump, indexing, lang, pipeline, runtime, \
+    search, slicing
+from .pipeline import ProgramBundle, ReproductionConfig, reproduce
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "bugs",
+    "coredump",
+    "indexing",
+    "lang",
+    "pipeline",
+    "runtime",
+    "search",
+    "slicing",
+    "ProgramBundle",
+    "ReproductionConfig",
+    "reproduce",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Static analyses: CFG, post-dominance, control dependence, Table 1."""
+
+from .cfg import CFG, build_cfgs
+from .classify import (
+    AggregateInfo,
+    Category,
+    STATEMENT_OPS,
+    StaticAnalysis,
+    try_aggregate,
+)
+from .control_dependence import ControlDependence, compute_control_dependence
+from .dominance import PostDominators, compute_postdominators
+
+__all__ = [
+    "CFG",
+    "build_cfgs",
+    "AggregateInfo",
+    "Category",
+    "STATEMENT_OPS",
+    "StaticAnalysis",
+    "try_aggregate",
+    "ControlDependence",
+    "compute_control_dependence",
+    "PostDominators",
+    "compute_postdominators",
+]

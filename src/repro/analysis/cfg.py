@@ -1,0 +1,121 @@
+"""Intra-procedural control-flow graphs over the flat IR.
+
+Each function's CFG has one node per instruction plus a *virtual exit*
+node (a negative id) that every RETURN flows into, giving the single-exit
+shape required by post-dominator analysis.  Calls are ordinary
+straight-line nodes — inter-procedural structure is captured by the call
+stack, exactly as in the paper ("interprocedural dependences caused by
+function invocations are captured by the call stack", Table 1 caption).
+"""
+
+from ..lang.errors import AnalysisError
+from ..lang.lower import Opcode
+
+
+class CFG:
+    """Control-flow graph of a single function.
+
+    Attributes
+    ----------
+    func:
+        The :class:`~repro.lang.lower.FuncCode` this graph covers.
+    nodes:
+        All node ids: the function's pcs plus ``func.virtual_exit``.
+    succs / preds:
+        ``node -> list of (node, edge_label)`` where the label is ``True``
+        or ``False`` for branch edges and ``None`` otherwise.
+    """
+
+    def __init__(self, compiled, func_code):
+        self.compiled = compiled
+        self.func = func_code
+        self.exit = func_code.virtual_exit
+        self.nodes = list(func_code.pcs()) + [self.exit]
+        self.succs = {n: [] for n in self.nodes}
+        self.preds = {n: [] for n in self.nodes}
+        self._build()
+
+    def _add_edge(self, src, dst, label=None):
+        self.succs[src].append((dst, label))
+        self.preds[dst].append((src, label))
+
+    def _build(self):
+        fc = self.func
+        for pc in fc.pcs():
+            instr = self.compiled.instr(pc)
+            if instr.op is Opcode.BRANCH:
+                self._check_target(instr.t_target, pc)
+                self._check_target(instr.f_target, pc)
+                self._add_edge(pc, instr.t_target, True)
+                self._add_edge(pc, instr.f_target, False)
+            elif instr.op is Opcode.JUMP:
+                self._check_target(instr.jump_target, pc)
+                self._add_edge(pc, instr.jump_target)
+            elif instr.op is Opcode.RETURN:
+                self._add_edge(pc, self.exit)
+            else:
+                # Straight-line: fall through.  The lowering guarantees a
+                # terminal RETURN, so pc+1 is always inside the function.
+                self._add_edge(pc, pc + 1)
+
+    def _check_target(self, target, src):
+        if target is None or not (self.func.entry_pc <= target < self.func.end_pc):
+            raise AnalysisError(
+                "jump target %r of pc %d escapes function %s"
+                % (target, src, self.func.name))
+
+    # -- queries -----------------------------------------------------------
+
+    def successors(self, node):
+        return [dst for dst, _ in self.succs[node]]
+
+    def predecessors(self, node):
+        return [src for src, _ in self.preds[node]]
+
+    def branch_edges(self):
+        """All (pred_pc, label, succ) edges out of BRANCH instructions."""
+        edges = []
+        for pc in self.func.pcs():
+            if self.compiled.instr(pc).op is Opcode.BRANCH:
+                for dst, label in self.succs[pc]:
+                    edges.append((pc, label, dst))
+        return edges
+
+    def reverse_postorder_from_exit(self):
+        """Reverse post-order of the *reversed* CFG, rooted at the exit.
+
+        This is the iteration order for the post-dominator solver.  Raises
+        :class:`AnalysisError` if some node cannot reach the exit (a
+        structurally infinite loop), since post-dominance would be
+        undefined there.
+        """
+        order = []
+        visited = set()
+
+        # Iterative DFS on the reversed graph to avoid recursion limits.
+        stack = [(self.exit, iter(self.predecessors(self.exit)))]
+        visited.add(self.exit)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for pred in it:
+                if pred not in visited:
+                    visited.add(pred)
+                    stack.append((pred, iter(self.predecessors(pred))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+        unreachable = set(self.nodes) - visited
+        if unreachable:
+            raise AnalysisError(
+                "nodes %s in %s cannot reach the function exit"
+                % (sorted(unreachable), self.func.name))
+        order.reverse()
+        return order
+
+
+def build_cfgs(compiled):
+    """Build the CFG of every function.  Returns ``{func_name: CFG}``."""
+    return {name: CFG(compiled, fc) for name, fc in compiled.functions.items()}

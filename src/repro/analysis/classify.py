@@ -1,0 +1,181 @@
+"""Statement classification for Table 1 and the aggregation test.
+
+The paper's Table 1 splits statements into four classes: a single control
+dependence; multiple control dependences aggregatable to one (short-
+circuit disjunction/conjunction); multiple non-aggregatable dependences
+(unconditional jumps); and loop predicates.  This module provides the
+classifier plus :class:`AggregateInfo`, the "complex predicate" (e.g.
+``11-12T``) that both Algorithm 1 and the alignment rules consume.
+"""
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..lang.lower import Opcode
+
+#: IR opcodes counted as "statements" for Table 1 — JUMPs and NOPs are
+#: compiler artifacts with no source-statement counterpart.
+STATEMENT_OPS = frozenset({
+    Opcode.ASSIGN, Opcode.BRANCH, Opcode.CALL, Opcode.RETURN,
+    Opcode.ACQUIRE, Opcode.RELEASE, Opcode.ASSERT, Opcode.OUTPUT,
+})
+
+
+class Category(Enum):
+    LOOP = "loop"
+    ONE_CD = "one CD"
+    AGGREGATABLE = "aggr. to one"
+    NON_AGGREGATABLE = "not aggr."
+    METHOD_BODY = "method body"  # no intra-procedural control dependence
+
+
+@dataclass(frozen=True)
+class AggregateInfo:
+    """A short-circuit chain aggregated into one complex predicate.
+
+    ``members`` are the predicate pcs in chain order; ``label`` is the
+    uniform branch outcome under which the dependent statement executes
+    (``True`` for an ``or`` chain's then-block, ``False`` for an ``and``
+    chain's else-block).
+    """
+
+    members: tuple
+    label: bool
+
+    def name(self):
+        return "-".join(str(pc) for pc in self.members) + ("T" if self.label else "F")
+
+
+def try_aggregate(cd, dep_set, is_statement=None):
+    """Try to fold multiple control dependences into one complex predicate.
+
+    ``dep_set`` is a set of ``(pred_pc, label)`` pairs.  Aggregation
+    succeeds when (a) all labels agree, (b) the member predicates form a
+    short-circuit chain — each non-first member's *only* control
+    dependence is the previous member's opposite branch — and (c) each
+    link region contains nothing but the next predicate's evaluation.
+
+    Condition (c) is what separates the paper's Fig. 5(b) (a genuine
+    ``p1 || p2``) from Fig. 6 (a goto into a sibling branch): both have
+    the same dependence *edges*, but the goto leaves real statements
+    (Fig. 6's ``s1``) inside the link region, so the chain is not a pure
+    evaluation cascade and must not be folded.  ``is_statement(pc)``
+    tells real statements apart from compiler artifacts.
+
+    Returns :class:`AggregateInfo` or ``None``.
+    """
+    if len(dep_set) < 2:
+        return None
+    labels = {label for _, label in dep_set}
+    if len(labels) != 1:
+        return None
+    label = next(iter(labels))
+    preds = {pc for pc, _ in dep_set}
+    roots = [p for p in preds
+             if not any(dep_pc in preds for dep_pc, _ in cd.of(p))]
+    if len(roots) != 1:
+        return None
+    order = [roots[0]]
+    remaining = preds - {roots[0]}
+    while remaining:
+        prev = order[-1]
+        link = (prev, not label)
+        expected = frozenset({link})
+        nxt = [q for q in remaining if cd.of(q) == expected]
+        if len(nxt) != 1:
+            return None
+        q = nxt[0]
+        if is_statement is not None:
+            intruders = [pc for pc, deps in cd.deps.items()
+                         if link in deps and pc != q and is_statement(pc)]
+            if intruders:
+                return None
+        order.append(q)
+        remaining.remove(q)
+    return AggregateInfo(tuple(order), label)
+
+
+class StaticAnalysis:
+    """Facade bundling CFGs, post-dominators, and control dependence.
+
+    Everything downstream of lowering — the interpreter's EI maintenance,
+    Algorithm 1, the alignment rules, the slicer — takes one of these.
+    """
+
+    def __init__(self, compiled):
+        from .cfg import build_cfgs
+        from .control_dependence import compute_control_dependence
+        from .dominance import compute_postdominators
+
+        self.compiled = compiled
+        self.cfgs = build_cfgs(compiled)
+        self.postdoms = compute_postdominators(self.cfgs)
+        self.cds = compute_control_dependence(self.cfgs, self.postdoms)
+
+    # -- per-pc queries ------------------------------------------------------
+
+    def _func(self, pc):
+        return self.compiled.func_of(pc)
+
+    def cd_of(self, pc):
+        """Static control dependences of ``pc``: set of (pred_pc, label)."""
+        return self.cds[self._func(pc)].of(pc)
+
+    def region_exit(self, pred_pc):
+        """The pc at which the branch regions of ``pred_pc`` close."""
+        return self.cds[self._func(pred_pc)].region_exit(pred_pc)
+
+    def aggregate_of(self, pc):
+        """The :class:`AggregateInfo` for ``pc``'s dependences, if any."""
+        cd = self.cds[self._func(pc)]
+
+        def is_statement(other_pc):
+            return self.compiled.instr(other_pc).op in STATEMENT_OPS
+
+        return try_aggregate(cd, cd.of(pc), is_statement=is_statement)
+
+    def depends_on_branch(self, pc, pred_pc, label):
+        """Transitive control dependence on a specific branch (rule 6 cond 3)."""
+        if self._func(pc) != self._func(pred_pc):
+            return False
+        return self.cds[self._func(pc)].depends_on_branch(pc, pred_pc, label)
+
+    def closest_common_ancestor(self, pc):
+        """Closest common single-CD ancestor of ``pc``'s dependences."""
+        cd = self.cds[self._func(pc)]
+        return cd.closest_common_ancestor(cd.of(pc))
+
+    # -- classification --------------------------------------------------------
+
+    def classify(self, pc):
+        """Table 1 category of the instruction at ``pc``."""
+        instr = self.compiled.instr(pc)
+        if instr.op is Opcode.BRANCH and instr.is_loop:
+            return Category.LOOP
+        deps = self.cd_of(pc)
+        if not deps:
+            return Category.METHOD_BODY
+        if len(deps) == 1:
+            return Category.ONE_CD
+        if self.aggregate_of(pc) is not None:
+            return Category.AGGREGATABLE
+        return Category.NON_AGGREGATABLE
+
+    def table1_distribution(self):
+        """Counts and percentages per category over statement instructions.
+
+        Returns ``(counts, percentages, total)`` with category values as
+        keys.  This regenerates a row of the paper's Table 1.
+        """
+        counts = {category: 0 for category in Category}
+        total = 0
+        for pc in range(len(self.compiled)):
+            if self.compiled.instr(pc).op not in STATEMENT_OPS:
+                continue
+            counts[self.classify(pc)] += 1
+            total += 1
+        percentages = {
+            category: (100.0 * n / total if total else 0.0)
+            for category, n in counts.items()
+        }
+        return counts, percentages, total

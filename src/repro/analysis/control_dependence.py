@@ -1,0 +1,116 @@
+"""Control dependence, following Ferrante, Ottenstein & Warren (TOPLAS'87).
+
+``x`` is control dependent on the ``b`` branch of predicate ``y`` iff
+there is a path from ``y`` along its ``b`` edge to ``x`` such that ``x``
+post-dominates every node on the path except ``y`` (footnote 2 of the
+paper).  Computed, as usual, by walking the post-dominator tree: for each
+branch edge ``(p, b) -> s``, every node from ``s`` up to (but excluding)
+``ipdom(p)`` is control dependent on ``(p, b)``.
+
+This module also provides the *transitive* control-dependence queries the
+alignment rules need (``controlDep(x, y)`` of rule (6) condition 3) and
+the closest-common-ancestor computation of Algorithm 1's
+non-aggregatable case.
+"""
+
+from collections import deque
+
+from ..lang.lower import Opcode
+
+
+class ControlDependence:
+    """Static control dependences of one function.
+
+    Attributes
+    ----------
+    deps:
+        ``pc -> frozenset of (pred_pc, branch_label)`` — the static control
+        dependences of each instruction.  An empty set means the
+        instruction nests directly in the method body.
+    """
+
+    def __init__(self, cfg, postdom):
+        self.cfg = cfg
+        self.postdom = postdom
+        self.deps = {pc: set() for pc in cfg.func.pcs()}
+        self._build()
+        self.deps = {pc: frozenset(s) for pc, s in self.deps.items()}
+        self._transitive_cache = {}
+
+    def _build(self):
+        for pred_pc, label, succ in self.cfg.branch_edges():
+            stop = self.postdom.immediate(pred_pc)
+            node = succ
+            while node != stop:
+                if node != self.cfg.exit:
+                    self.deps[node].add((pred_pc, label))
+                node = self.postdom.immediate(node)
+
+    # -- queries -----------------------------------------------------------
+
+    def of(self, pc):
+        """Static control dependences of ``pc``."""
+        return self.deps[pc]
+
+    def region_exit(self, pred_pc):
+        """The pc delimiting the branch regions of ``pred_pc`` (its ipdom)."""
+        return self.postdom.immediate(pred_pc)
+
+    def transitive_ancestors(self, pc):
+        """All ``(pred_pc, label)`` pairs ``pc`` transitively depends on.
+
+        Includes direct dependences; follows chains through the predicate
+        instructions (a dependence on ``(p, b)`` pulls in the dependences
+        of ``p`` itself).
+        """
+        cached = self._transitive_cache.get(pc)
+        if cached is not None:
+            return cached
+        seen = set()
+        queue = deque(self.deps[pc])
+        while queue:
+            dep = queue.popleft()
+            if dep in seen:
+                continue
+            seen.add(dep)
+            queue.extend(self.deps[dep[0]])
+        result = frozenset(seen)
+        self._transitive_cache[pc] = result
+        return result
+
+    def depends_on_branch(self, pc, pred_pc, label):
+        """``controlDep(pc, pred_pc^label)``: transitive dependence test."""
+        return (pred_pc, label) in self.transitive_ancestors(pc)
+
+    def closest_common_ancestor(self, dep_set):
+        """The closest common single-CD ancestor of multiple dependences.
+
+        Used by Algorithm 1 for non-aggregatable multiple static control
+        dependences (the paper's Fig. 6: statement 26 depends on 22T and
+        25T; both are transitively dependent on 21T, which is returned).
+        Returns ``None`` when the only common "ancestor" is the method
+        body itself.
+        """
+        ancestor_sets = []
+        for pred_pc, label in dep_set:
+            # Ancestors of the dependence (p, b): (p, b) itself plus
+            # everything p transitively depends on.
+            anc = set(self.transitive_ancestors(pred_pc))
+            anc.add((pred_pc, label))
+            ancestor_sets.append(anc)
+        common = set.intersection(*ancestor_sets)
+        if not common:
+            return None
+        # The closest ancestor is the one dominated (in the CD hierarchy)
+        # by every other: pick the element with the largest transitive
+        # ancestor set, breaking ties deterministically by pc.
+        def depth(dep):
+            return (len(self.transitive_ancestors(dep[0])), dep[0])
+
+        return max(common, key=depth)
+
+
+def compute_control_dependence(cfgs, postdoms):
+    """Control dependences for every function.  ``{func_name: ControlDependence}``."""
+    return {name: ControlDependence(cfg, postdoms[name])
+            for name, cfg in cfgs.items()}

@@ -1,0 +1,83 @@
+"""Post-dominator analysis.
+
+Implements the Cooper–Harvey–Kennedy "engineered" dominance algorithm on
+the reversed CFG, producing immediate post-dominators.  The immediate
+post-dominator of a predicate delimits its branch region (paper Sec. 3.1,
+EI rule (4)): an index-stack entry pushed at a predicate is popped when
+the predicate's immediate post-dominator executes.
+"""
+
+
+class PostDominators:
+    """Immediate post-dominators of one function's CFG.
+
+    Attributes
+    ----------
+    ipdom:
+        ``node -> node`` mapping; the virtual exit maps to itself.
+    """
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self.ipdom = self._compute()
+
+    def _compute(self):
+        cfg = self.cfg
+        order = cfg.reverse_postorder_from_exit()  # exit first
+        position = {node: i for i, node in enumerate(order)}
+        idom = {cfg.exit: cfg.exit}
+
+        def intersect(a, b):
+            while a != b:
+                while position[a] > position[b]:
+                    a = idom[a]
+                while position[b] > position[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for node in order:
+                if node == cfg.exit:
+                    continue
+                # Predecessors in the reversed graph are CFG successors.
+                processed = [s for s in cfg.successors(node) if s in idom]
+                if not processed:
+                    continue
+                new = processed[0]
+                for other in processed[1:]:
+                    new = intersect(new, other)
+                if idom.get(node) != new:
+                    idom[node] = new
+                    changed = True
+        return idom
+
+    # -- queries -----------------------------------------------------------
+
+    def immediate(self, node):
+        """The immediate post-dominator of ``node``."""
+        return self.ipdom[node]
+
+    def dominates(self, a, b):
+        """True if ``a`` post-dominates ``b`` (reflexive)."""
+        node = b
+        while True:
+            if node == a:
+                return True
+            nxt = self.ipdom[node]
+            if nxt == node:
+                return False
+            node = nxt
+
+    def all_postdominators(self, node):
+        """The chain of post-dominators of ``node`` up to the exit."""
+        chain = [node]
+        while chain[-1] != self.cfg.exit:
+            chain.append(self.ipdom[chain[-1]])
+        return chain
+
+
+def compute_postdominators(cfgs):
+    """Post-dominators for every function CFG.  ``{func_name: PostDominators}``."""
+    return {name: PostDominators(cfg) for name, cfg in cfgs.items()}

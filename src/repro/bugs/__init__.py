@@ -1,0 +1,17 @@
+"""The benchmark suite: Table 2 bugs and splash-like overhead kernels.
+
+Importing this package registers every scenario; use
+:func:`all_scenarios` / :func:`get_scenario` to enumerate them.
+"""
+
+from . import apache1, apache2, fig1, mysql1, mysql2, mysql3, mysql4, mysql5  # noqa: F401
+from .registry import BugScenario, all_scenarios, get_scenario, table2_scenarios
+from .splash import all_kernels
+
+__all__ = [
+    "BugScenario",
+    "all_scenarios",
+    "get_scenario",
+    "table2_scenarios",
+    "all_kernels",
+]

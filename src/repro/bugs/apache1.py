@@ -1,0 +1,157 @@
+"""apache-1: the mod_mem_cache atomicity violation (bug 21285, Sec. 6 case study).
+
+Content objects enter the shared cache in two steps: ``create_entity``
+inserts the object with a (large) default size; later ``write_body``
+removes it, sets the proper size, and re-inserts it.  The lock is *not*
+held across the two steps.  If the object is evicted between them,
+``cache_remove`` still subtracts its (default) size from
+``current_size`` — an unsigned underflow that makes the eviction loop in
+``cache_insert`` pop the queue past empty and dereference an empty slot
+("huge loop count underflows the cache").
+
+Three threads handle three caching requests; the cache holds at most
+two objects (the bug report's configuration).
+"""
+
+from ..lang import builder as B
+from .registry import BugScenario, register
+
+#: emulation of the 32-bit unsigned arithmetic of ``current_size``
+U32 = 2 ** 32
+DEFAULT_SIZE = 50
+PROPER_SIZE = 1
+MAX_BYTES = 100
+MAX_OBJECTS = 2
+QUEUE_SLOTS = 4
+
+
+def build():
+    # usub(a, b): 32-bit unsigned subtraction (the underflow of the bug).
+    usub = B.func("usub", ["a", "b"], [
+        B.assign("r", B.sub(B.v("a"), B.v("b"))),
+        B.if_(B.lt(B.v("r"), 0), [
+            B.assign("r", B.add(B.v("r"), U32)),
+        ]),
+        B.ret(B.v("r")),
+    ])
+
+    # cache_insert(e): evict until the entry fits, then append.
+    cache_insert = B.func("cache_insert", ["e"], [
+        B.while_(
+            B.or_(
+                B.ge(B.field(B.v("cache"), "count"), MAX_OBJECTS),
+                B.gt(B.add(B.field(B.v("cache"), "current_size"),
+                           B.field(B.v("e"), "size")),
+                     B.field(B.v("cache"), "max_size")),
+            ),
+            [
+                # Pops the oldest entry; with an underflowed current_size
+                # this runs past an empty queue and dereferences a hole.
+                B.assign("victim", B.index(B.v("pq"), 0)),
+                B.assign("vsize", B.field(B.v("victim"), "size")),
+                B.call("usub",
+                       [B.field(B.v("cache"), "current_size"), B.v("vsize")],
+                       target=B.field(B.v("cache"), "current_size")),
+                # shift the queue left
+                B.assign("k", 0),
+                B.while_(
+                    B.lt(B.v("k"),
+                         B.sub(B.field(B.v("cache"), "count"), 1)),
+                    [
+                        B.assign(B.index(B.v("pq"), B.v("k")),
+                                 B.index(B.v("pq"), B.add(B.v("k"), 1))),
+                        B.assign("k", B.add(B.v("k"), 1)),
+                    ]),
+                B.assign(B.field(B.v("cache"), "count"),
+                         B.sub(B.field(B.v("cache"), "count"), 1)),
+                B.assign(B.index(B.v("pq"),
+                                 B.field(B.v("cache"), "count")),
+                         B.null()),
+            ]),
+        B.assign(B.index(B.v("pq"), B.field(B.v("cache"), "count")),
+                 B.v("e")),
+        B.assign(B.field(B.v("cache"), "count"),
+                 B.add(B.field(B.v("cache"), "count"), 1)),
+        B.assign(B.field(B.v("cache"), "current_size"),
+                 B.add(B.field(B.v("cache"), "current_size"),
+                       B.field(B.v("e"), "size"))),
+    ])
+
+    # cache_remove(e): drop e from the queue if present; ALWAYS subtract
+    # its size — the paper's bug: an evicted object's size is subtracted
+    # a second time.
+    cache_remove = B.func("cache_remove", ["e"], [
+        B.assign("found", -1),
+        B.assign("j", 0),
+        B.while_(B.lt(B.v("j"), B.field(B.v("cache"), "count")), [
+            B.if_(B.eq(B.index(B.v("pq"), B.v("j")), B.v("e")), [
+                B.assign("found", B.v("j")),
+            ]),
+            B.assign("j", B.add(B.v("j"), 1)),
+        ]),
+        B.if_(B.ge(B.v("found"), 0), [
+            B.assign("k", B.v("found")),
+            B.while_(B.lt(B.v("k"),
+                          B.sub(B.field(B.v("cache"), "count"), 1)),
+                     [
+                         B.assign(B.index(B.v("pq"), B.v("k")),
+                                  B.index(B.v("pq"), B.add(B.v("k"), 1))),
+                         B.assign("k", B.add(B.v("k"), 1)),
+                     ]),
+            B.assign(B.field(B.v("cache"), "count"),
+                     B.sub(B.field(B.v("cache"), "count"), 1)),
+            B.assign(B.index(B.v("pq"), B.field(B.v("cache"), "count")),
+                     B.null()),
+        ]),
+        B.call("usub",
+               [B.field(B.v("cache"), "current_size"),
+                B.field(B.v("e"), "size")],
+               target=B.field(B.v("cache"), "current_size")),
+    ])
+
+    # One request handler: the two non-atomic steps.
+    handler = B.func("handler", ["rid"], [
+        B.assign("e", B.alloc_struct(size=DEFAULT_SIZE, owner=B.v("rid"))),
+        # create_entity: insert with the default size
+        B.acquire("sconf_lock"),
+        B.call("cache_insert", [B.v("e")]),
+        B.release("sconf_lock"),
+        # ... response body is produced; exact size becomes known ...
+        B.assign("body_len", PROPER_SIZE),
+        # write_body: remove, fix the size, re-insert
+        B.acquire("sconf_lock"),
+        B.call("cache_remove", [B.v("e")]),
+        B.assign(B.field(B.v("e"), "size"), B.v("body_len")),
+        B.call("cache_insert", [B.v("e")]),
+        B.release("sconf_lock"),
+    ])
+
+    return B.program(
+        "apache-1",
+        globals_={
+            "cache": {"current_size": 0, "max_size": MAX_BYTES,
+                      "count": 0},
+            "pq": [None] * QUEUE_SLOTS,
+        },
+        functions=[usub, cache_insert, cache_remove, handler],
+        threads=[B.thread("t1", "handler", [1]),
+                 B.thread("t2", "handler", [2]),
+                 B.thread("t3", "handler", [3])],
+        locks=["sconf_lock"],
+        inputs=[],
+    )
+
+
+register(BugScenario(
+    name="apache-1",
+    paper_id="21285",
+    kind="atom",
+    description="mod_mem_cache two-step insert: eviction between "
+                "create_entity and write_body underflows current_size",
+    build=build,
+    expected_fault="null-deref",
+    crash_func="cache_insert",
+    notes="Needs two preemptions: before t1's create acquire and before "
+          "t2's write acquire (the paper's case study schedule).",
+    tags=("case-study",),
+))

@@ -1,0 +1,81 @@
+"""apache-2: log-handle teardown race (modeled on bug 45605).
+
+A worker thread writes requests through a shared log handle, checking
+the ``log_open`` flag before dereferencing the handle.  The closer
+thread nulls the handle pointer inside its critical section but clears
+the flag only *after* releasing the lock — a window where the flag says
+open but the handle is gone.
+
+Reproducing needs two preemptions (the paper reports this bug as the
+only one plain CHESS also managed): one after the worker publishes its
+iteration's lock release, one after the closer's release but before the
+flag update.
+"""
+
+from ..lang import builder as B
+from .registry import BugScenario, register
+
+REQUESTS = 8
+ROTATIONS = 10
+
+
+def build():
+    worker = B.func("worker", [], [
+        B.for_("r", 0, REQUESTS, [
+            # refresh per-request log state under the lock
+            B.acquire("log_lock"),
+            B.assign("served", B.add(B.v("served"), 1)),
+            B.release("log_lock"),
+            # racy fast path: flag checked, handle dereferenced unlocked
+            B.if_(B.v("log_open"), [
+                B.assign("fd", B.field(B.v("log_ptr"), "fd")),
+                B.assign("written", B.add(B.v("written"), B.v("fd"))),
+            ]),
+        ]),
+    ])
+    closer = B.func("closer", [], [
+        # periodic log rotation; only the final round retires the handle
+        B.for_("c", 0, ROTATIONS, [
+            B.acquire("log_lock"),
+            B.if_(B.eq(B.v("c"), ROTATIONS - 1), [
+                B.assign("log_ptr", B.null()),
+            ], [
+                B.assign("log_ptr", B.alloc_struct(fd=B.add(B.v("c"), 10))),
+            ]),
+            B.release("log_lock"),
+            B.assign("flushes", B.add(B.v("flushes"), 1)),
+        ]),
+        # BUG: the open flag is cleared only after the rotation loop —
+        # a window in which the flag says open but the handle is gone.
+        B.assign("log_open", 0),
+    ])
+    return B.program(
+        "apache-2",
+        globals_={
+            "log_ptr": {"fd": 7},
+            "log_open": 1,
+            "served": 0,
+            "written": 0,
+            "flushes": 0,
+        },
+        functions=[worker, closer],
+        # Canonical order runs the closer first: the deterministic
+        # passing run closes the log, then the worker's guard is false.
+        threads=[B.thread("t1", "closer"), B.thread("t2", "worker")],
+        locks=["log_lock"],
+        inputs=[],
+    )
+
+
+register(BugScenario(
+    name="apache-2",
+    paper_id="45605",
+    kind="race",
+    description="log handle nulled before the open flag is cleared; "
+                "worker dereferences a dead handle",
+    build=build,
+    expected_fault="null-deref",
+    crash_func="worker",
+    notes="One preemption after the closer's release (handle gone, flag "
+          "still set), switching to the worker.",
+))

@@ -1,0 +1,71 @@
+"""The paper's running example (Fig. 1).
+
+Two threads: ``T1`` iterates over shared array ``a``; when ``a[i]`` is
+positive it sets the flag ``x`` and nulls the pointer ``p`` inside a
+critical section, then dereferences ``p`` inside ``F()`` guarded by
+``!x`` *outside* the critical section.  ``T2`` resets ``x``.  The write
+at line 21 racing the read at line 11 makes ``F(NULL)`` reachable: a
+null-pointer dereference exactly as in Fig. 2(a).
+
+The array input makes only the *last* iteration dangerous, so the
+schedule search cannot stumble on the failure in an early block.
+"""
+
+from ..lang import builder as B
+from .registry import BugScenario, register
+
+#: loop iterations of T1; only the final one sets the pointer to NULL.
+ITERATIONS = 20
+
+
+def build():
+    F = B.func("F", ["q"], [
+        B.assign("sink", B.field(B.v("q"), "data")),
+    ])
+    T1 = B.func("T1", [], [
+        B.for_("i", 0, ITERATIONS, [
+            B.assign("x", 0),
+            B.assign("p", B.alloc_struct(data=42)),
+            B.acquire("lock"),
+            B.if_(B.gt(B.index(B.v("a"), B.v("i")), 0), [
+                B.assign("x", 1),
+                B.assign("p", B.null()),
+            ]),
+            B.release("lock"),
+            B.if_(B.not_(B.v("x")), [
+                B.call("F", [B.v("p")]),
+            ]),
+        ]),
+    ])
+    T2 = B.func("T2", [], [
+        # T2 does some of its own work first, so under true parallelism
+        # its reset can land anywhere inside T1's loop.
+        B.for_("d", 0, 40, [
+            B.assign("spin", B.add(B.v("spin"), 1)),
+        ]),
+        B.assign("x", 0),
+    ])
+    a = [0] * ITERATIONS
+    a[-1] = 1
+    return B.program(
+        "fig1",
+        globals_={"x": 0, "a": a, "spin": 0},
+        functions=[F, T1, T2],
+        threads=[B.thread("T1", "T1"), B.thread("T2", "T2")],
+        locks=["lock"],
+        inputs=["a"],
+    )
+
+
+register(BugScenario(
+    name="fig1",
+    paper_id="example",
+    kind="race",
+    description="Running example: racy flag guards a null pointer (Fig. 1)",
+    build=build,
+    expected_fault="null-deref",
+    crash_func="F",
+    notes="The reproduction needs one preemption after T1's lock release "
+          "in the last iteration, switching to T2 (paper Sec. 2).",
+    tags=("example",),
+))

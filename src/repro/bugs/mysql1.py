@@ -1,0 +1,74 @@
+"""mysql-1: lost-update atomicity violation (modeled on bug 21587).
+
+Appending to a shared table is split into two critical sections: one
+reads the next free slot, one writes the entry and publishes the new
+count.  Two appenders that interleave between the sections claim the
+same slot; the second write trips the duplicate-slot assertion — the
+mini version of mysql's index corruption check.
+"""
+
+from ..lang import builder as B
+from .registry import BugScenario, register
+
+T1_APPENDS = 20
+T2_APPENDS = 2
+#: the batch appender only kicks in once the table is mostly full
+T2_THRESHOLD = 16
+TABLE_SLOTS = 32
+
+
+def build():
+    appender = B.func("appender", ["id", "n"], [
+        B.for_("j", 0, B.v("n"), [
+            # step 1: reserve a slot (first critical section)
+            B.acquire("tbl_lock"),
+            B.assign("slot", B.v("n_entries")),
+            B.release("tbl_lock"),
+            # ... compute the row outside the lock (the gap) ...
+            B.assign("item", B.add(B.mul(B.v("id"), 100), B.v("j"))),
+            # step 2: publish (second critical section)
+            B.acquire("tbl_lock"),
+            B.assert_(B.eq(B.index(B.v("table"), B.v("slot")), 0),
+                      "duplicate slot write: lost update"),
+            B.assign(B.index(B.v("table"), B.v("slot")), B.v("item")),
+            B.assign("n_entries", B.add(B.v("slot"), 1)),
+            B.release("tbl_lock"),
+        ]),
+    ])
+    # The flusher polls until the table is mostly full, then appends its
+    # summary rows — the lost-update window opens late in the run.
+    flusher = B.func("flusher", ["id", "n"], [
+        B.assign("flushed", 0),
+        B.for_("poll", 0, 12, [
+            B.if_(B.and_(B.eq(B.v("flushed"), 0),
+                         B.ge(B.v("n_entries"), T2_THRESHOLD)), [
+                B.call("appender", [B.v("id"), B.v("n")]),
+                B.assign("flushed", 1),
+            ]),
+        ]),
+    ])
+    return B.program(
+        "mysql-1",
+        globals_={
+            "table": [0] * TABLE_SLOTS,
+            "n_entries": 0,
+        },
+        functions=[appender, flusher],
+        threads=[B.thread("t1", "appender", [1, T1_APPENDS]),
+                 B.thread("t2", "flusher", [2, T2_APPENDS])],
+        locks=["tbl_lock"],
+        inputs=[],
+    )
+
+
+register(BugScenario(
+    name="mysql-1",
+    paper_id="21587",
+    kind="atom",
+    description="slot reservation and publication are separate critical "
+                "sections; concurrent appenders claim the same slot",
+    build=build,
+    expected_fault="assert",
+    crash_func="appender",
+    notes="One preemption between the two critical sections reproduces it.",
+))

@@ -1,0 +1,80 @@
+"""mysql-2: lazy-init vs. invalidation atomicity violation (bug 12228 style).
+
+A reader lazily initializes a shared cache object under double-checked
+locking, then dereferences it *outside* any lock; an invalidator thread
+nulls the pointer under the lock.  The reader's null check and its
+dereference are not atomic, so an invalidation between them crashes the
+reader — the mini version of mysql's query-cache invalidation bug.
+"""
+
+from ..lang import builder as B
+from .registry import BugScenario, register
+
+READS = 24
+#: the invalidator only retires the entry once it has been hit enough
+STALE_AFTER = 18
+
+
+def build():
+    reader = B.func("reader", [], [
+        B.for_("j", 0, READS, [
+            B.if_(B.eq(B.v("cache_ptr"), B.null()), [
+                B.acquire("cache_lock"),
+                # double-checked locking (correct by itself)
+                B.if_(B.eq(B.v("cache_ptr"), B.null()), [
+                    B.assign("cache_ptr", B.alloc_struct(val=7)),
+                ]),
+                B.release("cache_lock"),
+            ]),
+            B.acquire("cache_lock"),
+            B.assign("hits", B.add(B.v("hits"), 1)),
+            B.release("cache_lock"),
+            # ... result formatting happens outside the lock ...
+            B.assign("fmt", B.add(B.mul(B.v("j"), 2), 1)),
+            B.assign("fmt", B.mod(B.v("fmt"), 97)),
+            # BUG: dereference outside the lock; the pointer may have
+            # been invalidated since the null check above.
+            B.assign("s", B.field(B.v("cache_ptr"), "val")),
+            B.assign("total", B.add(B.v("total"), B.add(B.v("s"),
+                                                        B.v("fmt")))),
+        ]),
+    ])
+    invalidator = B.func("invalidator", [], [
+        # periodic eviction scan: entries are only retired once
+        # sufficiently hot, so the window opens late in the reader's run
+        B.for_("p", 0, 24, [
+            B.acquire("cache_lock"),
+            B.if_(B.and_(B.ge(B.v("hits"), STALE_AFTER),
+                         B.ne(B.v("cache_ptr"), B.null())), [
+                B.assign("cache_ptr", B.null()),
+                B.assign("invalidations", B.add(B.v("invalidations"), 1)),
+            ]),
+            B.release("cache_lock"),
+        ]),
+    ])
+    return B.program(
+        "mysql-2",
+        globals_={
+            "cache_ptr": None,
+            "total": 0,
+            "hits": 0,
+            "invalidations": 0,
+        },
+        functions=[reader, invalidator],
+        threads=[B.thread("t1", "reader"), B.thread("t2", "invalidator")],
+        locks=["cache_lock"],
+        inputs=[],
+    )
+
+
+register(BugScenario(
+    name="mysql-2",
+    paper_id="12228",
+    kind="atom",
+    description="query-cache pointer invalidated between the reader's "
+                "null check and its dereference",
+    build=build,
+    expected_fault="null-deref",
+    crash_func="reader",
+    notes="One preemption after the reader's init release reproduces it.",
+))

@@ -1,0 +1,69 @@
+"""mysql-3: unguarded pop race on a shared stack (bug 12212 style).
+
+The main popper drains a shared stack under the lock; a helper thread
+performs one *unlocked* pop (the race).  An extra concurrent pop makes
+the popper's final iteration read index ``-1`` — the mini version of
+mysql's thread-cache list corruption.
+"""
+
+from ..lang import builder as B
+from .registry import BugScenario, register
+
+STACK_ITEMS = 24
+#: the work-stealer only takes an item when the stack is nearly drained
+STEAL_AT = 3
+
+
+def build():
+    popper = B.func("popper", [], [
+        B.for_("j", 0, STACK_ITEMS, [
+            B.acquire("stk_lock"),
+            B.assign("t", B.v("top")),
+            B.assign("top", B.sub(B.v("t"), 1)),
+            B.release("stk_lock"),
+            # element use outside the lock; t-1 is -1 after a raced pop
+            B.assign("v", B.index(B.v("data"), B.sub(B.v("t"), 1))),
+            B.assign("drained", B.add(B.v("drained"), B.v("v"))),
+        ]),
+    ])
+    racer = B.func("racer", [], [
+        # BUG: no lock around the pop; the stealer polls and fires only
+        # when the stack is nearly empty, late in the popper's run
+        B.assign("stole", 0),
+        B.for_("p", 0, 16, [
+            B.if_(B.and_(B.eq(B.v("stole"), 0),
+                         B.eq(B.v("top"), STEAL_AT)), [
+                B.assign("rt", B.v("top")),
+                B.assign("top", B.sub(B.v("rt"), 1)),
+                B.assign("rv", B.index(B.v("data"), B.sub(B.v("rt"), 1))),
+                B.assign("stolen", B.add(B.v("stolen"), B.v("rv"))),
+                B.assign("stole", 1),
+            ]),
+        ]),
+    ])
+    return B.program(
+        "mysql-3",
+        globals_={
+            "data": [10 * (i + 1) for i in range(STACK_ITEMS)],
+            "top": STACK_ITEMS,
+            "drained": 0,
+            "stolen": 0,
+        },
+        functions=[popper, racer],
+        threads=[B.thread("t1", "popper"), B.thread("t2", "racer")],
+        locks=["stk_lock"],
+        inputs=[],
+    )
+
+
+register(BugScenario(
+    name="mysql-3",
+    paper_id="12212",
+    kind="race",
+    description="helper pops the shared stack without the lock; the "
+                "popper's last iteration indexes -1",
+    build=build,
+    expected_fault="out-of-bounds",
+    crash_func="popper",
+    notes="One preemption after any popper release, switching to the racer.",
+))

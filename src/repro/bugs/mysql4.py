@@ -1,0 +1,80 @@
+"""mysql-4: torn two-field update (bug 12848 style).
+
+The writer updates a shared buffer's ``len`` and ``tail`` fields in two
+separate critical sections; a consistency-checking reader that runs
+between them observes ``len != tail`` and trips the corruption
+assertion — the mini version of mysql's binlog position desync.
+
+The reader's validation uses a short-circuit ``or`` chain, exercising
+the "aggregatable to one" control-dependence class of Table 1.
+"""
+
+from ..lang import builder as B
+from .registry import BugScenario, register
+
+WRITES = 16
+#: the reader validates only mature buffers, late in the writer's run
+CHECK_AT = 13
+CAPACITY = 64
+
+
+def build():
+    writer = B.func("writer", [], [
+        B.for_("j", 0, WRITES, [
+            B.acquire("buf_lock"),
+            B.assign(B.field(B.v("buf"), "len"), B.add(B.v("j"), 1)),
+            B.release("buf_lock"),
+            # BUG: tail published in a second critical section
+            B.acquire("buf_lock"),
+            B.assign(B.field(B.v("buf"), "tail"), B.add(B.v("j"), 1)),
+            B.release("buf_lock"),
+        ]),
+    ])
+    reader = B.func("reader", [], [
+        # periodic consistency scan over the shared buffer
+        B.for_("p", 0, 10, [
+            B.acquire("buf_lock"),
+            B.assign("l", B.field(B.v("buf"), "len")),
+            B.assign("t", B.field(B.v("buf"), "tail")),
+            B.release("buf_lock"),
+            # Short-circuit validation: `l < 0 || l > CAPACITY` lowers
+            # to an aggregatable control-dependence chain (Fig. 5(b)).
+            B.if_(B.or_(B.lt(B.v("l"), 0), B.gt(B.v("l"), CAPACITY)), [
+                B.assign("bad_len", B.add(B.v("bad_len"), 1)),
+            ], [
+                # only mature buffers are validated, so the torn-state
+                # window opens late in the writer's run
+                B.if_(B.ge(B.v("l"), CHECK_AT), [
+                    B.assert_(B.eq(B.v("l"), B.v("t")),
+                              "len/tail desync observed"),
+                    B.assign("checked", B.add(B.v("checked"), 1)),
+                ]),
+            ]),
+        ]),
+    ])
+    return B.program(
+        "mysql-4",
+        globals_={
+            "buf": {"len": 0, "tail": 0},
+            "bad_len": 0,
+            "checked": 0,
+        },
+        functions=[writer, reader],
+        threads=[B.thread("t1", "writer"), B.thread("t2", "reader")],
+        locks=["buf_lock"],
+        inputs=[],
+    )
+
+
+register(BugScenario(
+    name="mysql-4",
+    paper_id="12848",
+    kind="atom",
+    description="len and tail published in separate critical sections; "
+                "a reader between them sees the torn state",
+    build=build,
+    expected_fault="assert",
+    crash_func="reader",
+    notes="One preemption between the writer's two sections, switching "
+          "to the reader.",
+))

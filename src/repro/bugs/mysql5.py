@@ -1,0 +1,109 @@
+"""mysql-5: claim-after-use job-queue violation (bug 42419 style).
+
+A worker drains a job queue in a ``while`` loop (its iteration count is
+*only* recoverable through the paper's loop-counter instrumentation): it
+reads the next index in one critical section, dereferences the job
+pointer *outside* the lock, and only then publishes the consumed index.
+The cleaner nulls all entries at or beyond the published index, so a
+cleanup that lands inside the worker's window nulls the very job the
+worker is about to dereference.
+
+The cleaner contains the paper's Fig. 6 goto pattern: a statement
+reachable both through a ``goto`` and through a normal branch, giving
+non-aggregatable multiple control dependences (Table 1's "not aggr."
+class).
+"""
+
+from ..lang import builder as B
+from .registry import BugScenario, register
+
+JOBS = 16
+#: the cleaner only drains the tail once most jobs are processed
+DRAIN_AFTER = 12
+
+
+def build():
+    worker = B.func("worker", [], [
+        B.while_(B.lt(B.v("done"), JOBS), [
+            # step 1: read the claim index
+            B.acquire("q_lock"),
+            B.assign("idx", B.v("done")),
+            B.release("q_lock"),
+            # BUG: the job is fetched and used before `done` is
+            # published, so the cleaner still considers it cancellable.
+            B.assign("job", B.index(B.v("queue"), B.v("idx"))),
+            B.assign("payload", B.field(B.v("job"), "payload")),
+            B.assign("processed", B.add(B.v("processed"), B.v("payload"))),
+            # step 2: publish the claim
+            B.acquire("q_lock"),
+            B.assign("done", B.add(B.v("idx"), 1)),
+            B.release("q_lock"),
+        ]),
+    ])
+    cleaner = B.func("cleaner", [], [
+        B.for_("k", 0, JOBS, [
+            # Fig. 6 exactly: within an always-taken outer region (21T),
+            # a goto (22T) jumps into a sibling branch (25T), so the
+            # `marks` update (26) has control dependences {22T, 25T} that
+            # cannot be aggregated; Algorithm 1 recovers their closest
+            # common ancestor, the outer predicate.
+            B.if_(B.gt(B.add(B.v("k"), 1), 0), [          # 21: p1
+                B.if_(B.gt(B.v("audit"), 0), [            # 22: p2
+                    B.goto("mark"),                       # 23: goto 26
+                ]),
+                B.assign("nchecked", B.add(B.v("nchecked"), 1)),  # 24: s1
+                B.if_(B.eq(B.mod(B.v("k"), 2), 0), [      # 25: p3
+                    B.label("mark"),
+                    B.assign("marks", B.add(B.v("marks"), 1)),    # 26: s2
+                ], [
+                    B.assign("skips", B.add(B.v("skips"), 1)),    # 28: s3
+                ]),
+            ]),
+            # audit the slot (this read also happens in the passing run,
+            # so the cleaner's CSV-set annotation covers the queue), then
+            # cancel it if not yet claimed
+            B.acquire("q_lock"),
+            B.assign("entry", B.index(B.v("queue"), B.v("k"))),
+            B.if_(B.ne(B.v("entry"), B.null()), [
+                # shutdown drain: only once most jobs are processed
+                B.if_(B.and_(B.ge(B.v("done"), DRAIN_AFTER),
+                             B.ge(B.v("k"), B.v("done"))), [
+                    B.assign(B.index(B.v("queue"), B.v("k")), B.null()),
+                    B.assign("cancelled", B.add(B.v("cancelled"), 1)),
+                ]),
+            ]),
+            B.release("q_lock"),
+        ]),
+    ])
+    return B.program(
+        "mysql-5",
+        globals_={
+            "queue": [{"payload": 3 * (i + 1)} for i in range(JOBS)],
+            "done": 0,
+            "processed": 0,
+            "cancelled": 0,
+            "audit": 0,
+            "nchecked": 0,
+            "marks": 0,
+            "skips": 0,
+        },
+        functions=[worker, cleaner],
+        threads=[B.thread("t1", "worker"), B.thread("t2", "cleaner")],
+        locks=["q_lock"],
+        inputs=["audit"],
+    )
+
+
+register(BugScenario(
+    name="mysql-5",
+    paper_id="42419",
+    kind="atom",
+    description="job pointer used before the claim index is published; "
+                "the cleaner cancels the in-flight job",
+    build=build,
+    expected_fault="null-deref",
+    crash_func="worker",
+    notes="One preemption after the worker's first release, switching to "
+          "the cleaner.  The worker's while loop exercises the "
+          "instrumented loop counters in Algorithm 1.",
+))

@@ -1,0 +1,60 @@
+"""The concurrency-bug suite (the paper's Table 2, as mini-programs).
+
+Each :class:`BugScenario` rebuilds, in the mini language, the *pattern*
+of one bug the paper studied — the same two-step atomicity violations
+and order races, at laptop scale.  Scenarios promise two properties,
+checked by the integration tests:
+
+* the deterministic single-core run **passes**;
+* some random multicore interleaving **fails** with the scenario's
+  expected fault kind, inside the expected function.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass
+class BugScenario:
+    """One reproducible concurrency bug."""
+
+    name: str
+    paper_id: str          # the paper's bug-repository id it is modeled on
+    kind: str              # "atom" (atomicity violation) | "race"
+    description: str
+    build: Callable        # () -> Program
+    expected_fault: str    # fault kind of the crash
+    crash_func: str        # function containing the failure PC
+    input_overrides: Optional[dict] = None
+    #: seed hint so stress testing starts near a known-failing region
+    stress_seeds: object = None
+    notes: str = ""
+    tags: tuple = ()
+
+
+_REGISTRY = {}
+
+
+def register(scenario):
+    if scenario.name in _REGISTRY:
+        raise ValueError("duplicate scenario %r" % scenario.name)
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name):
+    return _REGISTRY[name]
+
+
+def all_scenarios():
+    """Scenarios in the paper's Table 2 order."""
+    order = ["apache-1", "apache-2", "mysql-1", "mysql-2", "mysql-3",
+             "mysql-4", "mysql-5"]
+    listed = [_REGISTRY[n] for n in order if n in _REGISTRY]
+    extras = [s for n, s in sorted(_REGISTRY.items()) if n not in order]
+    return listed + extras
+
+
+def table2_scenarios():
+    """Only the seven Table 2 bugs (no auxiliary scenarios)."""
+    return [s for s in all_scenarios() if s.paper_id != "example"]

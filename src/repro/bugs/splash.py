@@ -1,0 +1,120 @@
+"""splash-II-style loop kernels for the Fig. 10 overhead study.
+
+The paper measures its loop-counter instrumentation on splash-II because
+those programs are loop-intensive; it observes *lower* overhead there
+than on apache/mysql since "many of their loops have loop counters and
+do not need to be instrumented".  These kernels mirror that: they are
+dominated by counted ``for`` loops (iteration counts recoverable from
+the induction variable, no instrumentation cost) with only occasional
+``while`` loops, while the bug-suite programs lean on ``while`` loops.
+
+Two worker threads split each kernel's range and meet in small
+lock-protected reductions, like the splash barrier/reduction phases.
+"""
+
+from ..lang import builder as B
+
+FFT_POINTS = 64
+LU_DIM = 8
+RADIX_VALUES = 48
+
+
+def build_fft_like():
+    """Butterfly-shaped passes over a shared array (fft)."""
+    worker = B.func("worker", ["base", "span"], [
+        B.for_("pass_", 0, 4, [
+            B.for_("i", 0, B.v("span"), [
+                B.assign("idx", B.add(B.v("base"), B.v("i"))),
+                B.assign("a", B.index(B.v("signal"), B.v("idx"))),
+                B.assign("b", B.mod(B.add(B.mul(B.v("a"), 3), B.v("pass_")),
+                                    997)),
+                B.assign(B.index(B.v("signal"), B.v("idx")), B.v("b")),
+            ]),
+            B.acquire("sum_lock"),
+            B.assign("checksum", B.add(B.v("checksum"), B.v("b"))),
+            B.release("sum_lock"),
+        ]),
+    ])
+    half = FFT_POINTS // 2
+    return B.program(
+        "splash-fft",
+        globals_={"signal": [i % 17 for i in range(FFT_POINTS)],
+                  "checksum": 0},
+        functions=[worker],
+        threads=[B.thread("t1", "worker", [0, half]),
+                 B.thread("t2", "worker", [half, half])],
+        locks=["sum_lock"],
+    )
+
+
+def build_lu_like():
+    """Triangular elimination sweeps (lu)."""
+    worker = B.func("worker", ["first_row", "rows"], [
+        B.for_("k", 0, LU_DIM, [
+            B.for_("r", 0, B.v("rows"), [
+                B.assign("row", B.add(B.v("first_row"), B.v("r"))),
+                B.if_(B.gt(B.v("row"), B.v("k")), [
+                    B.for_("c", 0, LU_DIM, [
+                        B.assign("off",
+                                 B.add(B.mul(B.v("row"), LU_DIM), B.v("c"))),
+                        B.assign("cell", B.index(B.v("matrix"), B.v("off"))),
+                        B.assign(B.index(B.v("matrix"), B.v("off")),
+                                 B.mod(B.add(B.mul(B.v("cell"), 2),
+                                             B.v("k")), 1009)),
+                    ]),
+                ]),
+            ]),
+            B.acquire("sum_lock"),
+            B.assign("pivots", B.add(B.v("pivots"), 1)),
+            B.release("sum_lock"),
+        ]),
+    ])
+    half = LU_DIM // 2
+    return B.program(
+        "splash-lu",
+        globals_={"matrix": [(i * 7) % 13 for i in range(LU_DIM * LU_DIM)],
+                  "pivots": 0},
+        functions=[worker],
+        threads=[B.thread("t1", "worker", [0, half]),
+                 B.thread("t2", "worker", [half, half])],
+        locks=["sum_lock"],
+    )
+
+
+def build_radix_like():
+    """Counting-sort passes with a value-dependent while loop (radix)."""
+    worker = B.func("worker", ["base", "span"], [
+        B.for_("i", 0, B.v("span"), [
+            B.assign("v", B.index(B.v("keys"), B.add(B.v("base"), B.v("i")))),
+            # while loop: digit extraction — iteration count is data
+            # dependent, so the paper's instrumentation applies here.
+            B.assign("digits", 0),
+            B.while_(B.gt(B.v("v"), 0), [
+                B.assign("v", B.div(B.v("v"), 10)),
+                B.assign("digits", B.add(B.v("digits"), 1)),
+            ]),
+            B.acquire("hist_lock"),
+            B.assign(B.index(B.v("hist"), B.v("digits")),
+                     B.add(B.index(B.v("hist"), B.v("digits")), 1)),
+            B.release("hist_lock"),
+        ]),
+    ])
+    half = RADIX_VALUES // 2
+    return B.program(
+        "splash-radix",
+        globals_={"keys": [(i * 37 + 11) % 5000 for i in range(RADIX_VALUES)],
+                  "hist": [0] * 8},
+        functions=[worker],
+        threads=[B.thread("t1", "worker", [0, half]),
+                 B.thread("t2", "worker", [half, half])],
+        locks=["hist_lock"],
+    )
+
+
+def all_kernels():
+    """The splash-like programs, by name."""
+    return {
+        "splash-fft": build_fft_like(),
+        "splash-lu": build_lu_like(),
+        "splash-radix": build_radix_like(),
+    }

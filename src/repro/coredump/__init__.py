@@ -1,0 +1,22 @@
+"""Core dumps: snapshots, reachability, comparison, serialization."""
+
+from .compare import DumpComparison, ValueDifference, compare_dumps
+from .dump import CoreDump, FrameDump, ThreadDump, take_core_dump
+from .reachability import Cell, reachable_cells, shared_cells
+from .serialize import dump_from_json, dump_size_bytes, dump_to_json
+
+__all__ = [
+    "DumpComparison",
+    "ValueDifference",
+    "compare_dumps",
+    "CoreDump",
+    "FrameDump",
+    "ThreadDump",
+    "take_core_dump",
+    "Cell",
+    "reachable_cells",
+    "shared_cells",
+    "dump_from_json",
+    "dump_size_bytes",
+    "dump_to_json",
+]

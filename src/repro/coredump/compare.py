@@ -1,0 +1,93 @@
+"""Core dump comparison: value differences and critical shared variables.
+
+"The shared variables that have different values in the two core dumps
+are called critical shared variables (CSVs), because they reflect the
+outcome of schedule differences" (paper Sec. 4).  Comparison is over
+primitive-typed cells with identical reference paths in both dumps;
+pointer cells are compared by null-ness only.
+"""
+
+from dataclasses import dataclass, field
+
+from .reachability import reachable_cells
+
+
+@dataclass(frozen=True)
+class ValueDifference:
+    """One cell that differs across the failing and passing dumps."""
+
+    path: str
+    failing_value: object
+    passing_value: object
+    shared: bool
+    #: runtime location of this cell in the *passing* dump — this is what
+    #: trace accesses of the passing run are matched against
+    passing_location: tuple
+
+    def describe(self):
+        scope = "shared" if self.shared else "local"
+        return "%s %s: failing=%r passing=%r" % (
+            scope, self.path, self.failing_value, self.passing_value)
+
+
+@dataclass
+class DumpComparison:
+    """The full result of comparing two dumps (one Table 3 row)."""
+
+    vars_compared: int
+    shared_compared: int
+    differences: list = field(default_factory=list)
+
+    @property
+    def csvs(self):
+        """Critical shared variables: shared cells with differing values."""
+        return [d for d in self.differences if d.shared]
+
+    @property
+    def csv_locations(self):
+        """Passing-run locations of the CSVs (for access matching)."""
+        return {d.passing_location for d in self.csvs}
+
+    def csv_paths(self):
+        return [d.path for d in self.csvs]
+
+    def summary_row(self):
+        """(vars, diffs, shared, csvs) — the paper's Table 3 columns."""
+        return (self.vars_compared, len(self.differences),
+                self.shared_compared, len(self.csvs))
+
+
+def compare_dumps(failure_dump, aligned_dump):
+    """Compare a failure dump against an aligned-point dump.
+
+    Only cells whose reference paths occur in *both* dumps are compared
+    (identical reference paths, per the paper); cells reachable in just
+    one dump reflect allocation differences and are not value
+    differences.
+    """
+    failing_thread = failure_dump.failing_thread
+    fail_cells, _ = reachable_cells(failure_dump, failing_thread)
+    pass_cells, _ = reachable_cells(aligned_dump, aligned_dump.failing_thread)
+
+    # Local reference paths embed the frame *depth*, not uid, so they are
+    # comparable across runs as long as the call stacks align.
+    common = [p for p in fail_cells if p in pass_cells]
+    differences = []
+    shared_compared = 0
+    for path in common:
+        fail_cell = fail_cells[path]
+        pass_cell = pass_cells[path]
+        if fail_cell.shared:
+            shared_compared += 1
+        if fail_cell.value != pass_cell.value:
+            differences.append(ValueDifference(
+                path=path,
+                failing_value=fail_cell.value,
+                passing_value=pass_cell.value,
+                shared=fail_cell.shared and pass_cell.shared,
+                passing_location=pass_cell.location,
+            ))
+    differences.sort(key=lambda d: d.path)
+    return DumpComparison(vars_compared=len(common),
+                          shared_compared=shared_compared,
+                          differences=differences)

@@ -1,0 +1,138 @@
+"""Core dump snapshots.
+
+A :class:`CoreDump` is "a complete snapshot of the program state at the
+point of the failure, including register values, the current calling
+context, the virtual address space, and so on" (paper Sec. 1).  In this
+substrate that means: the failing PC ("registers"), every thread's call
+stack with locals and live loop counters, all globals, the whole heap,
+lock ownership, and per-thread instruction counts (the hardware counters
+Table 5 reads).
+
+Dumps are taken both at the failure point of the multicore run and at the
+aligned point of the single-core passing run; :mod:`repro.coredump.compare`
+diffs them.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lang.errors import DumpError
+from ..runtime.heap import HeapArray, HeapStruct
+
+
+@dataclass
+class FrameDump:
+    """Snapshot of one activation frame."""
+
+    uid: int
+    func: str
+    pc: int
+    locals: dict
+    loop_counters: dict
+    return_to: Optional[int] = None
+
+
+@dataclass
+class ThreadDump:
+    """Snapshot of one thread: backtrace outermost-first."""
+
+    name: str
+    status: str
+    frames: list
+    instr_count: int
+
+    @property
+    def top_frame(self):
+        return self.frames[-1] if self.frames else None
+
+    def call_stack(self):
+        """``[(func, pc), ...]`` outermost first."""
+        return [(f.func, f.pc) for f in self.frames]
+
+
+@dataclass
+class CoreDump:
+    """A full program-state snapshot.
+
+    ``kind`` is ``"failure"`` for the production crash dump and
+    ``"aligned"`` for the dump generated at the aligned point of the
+    passing run.
+    """
+
+    program: str
+    kind: str
+    step_count: int
+    failing_thread: Optional[str]
+    failure: object  # runtime.events.Failure or None for aligned dumps
+    globals: dict = field(default_factory=dict)
+    heap: dict = field(default_factory=dict)  # obj_id -> ("struct"|"array", payload)
+    lock_owner: dict = field(default_factory=dict)
+    threads: dict = field(default_factory=dict)  # name -> ThreadDump
+
+    @property
+    def failure_pc(self):
+        if self.failure is None:
+            raise DumpError("dump %r has no failure" % self.kind)
+        return self.failure.pc
+
+    def thread_dump(self, name):
+        if name not in self.threads:
+            raise DumpError("no thread %r in dump" % name)
+        return self.threads[name]
+
+    def heap_object(self, obj_id):
+        if obj_id not in self.heap:
+            raise DumpError("dangling heap id %r in dump" % obj_id)
+        return self.heap[obj_id]
+
+
+def _dump_heap(heap):
+    objects = {}
+    for obj_id, obj in heap.objects():
+        if isinstance(obj, HeapStruct):
+            objects[obj_id] = ("struct", dict(obj.fields))
+        elif isinstance(obj, HeapArray):
+            objects[obj_id] = ("array", list(obj.elements))
+        else:  # pragma: no cover - heap only holds structs/arrays
+            raise DumpError("unknown heap object %r" % (obj,))
+    return objects
+
+
+def take_core_dump(execution, kind, failing_thread=None):
+    """Snapshot ``execution`` into a :class:`CoreDump`.
+
+    For ``kind="failure"`` the execution must have failed; for aligned
+    dumps the caller names the thread that corresponds to the failing
+    one (the alignment target).
+    """
+    failure = execution.failure
+    if kind == "failure":
+        if failure is None:
+            raise DumpError("cannot take a failure dump of a non-failed run")
+        failing_thread = failure.thread
+    elif failing_thread is None:
+        raise DumpError("aligned dumps need an explicit failing_thread")
+
+    threads = {}
+    for name, thread in execution.threads.items():
+        frames = [
+            FrameDump(uid=f.uid, func=f.func, pc=f.pc, locals=dict(f.locals),
+                      loop_counters=dict(f.loop_counters),
+                      return_to=f.return_to)
+            for f in thread.frames
+        ]
+        threads[name] = ThreadDump(name=name, status=thread.status.value,
+                                   frames=frames,
+                                   instr_count=thread.instr_count)
+
+    return CoreDump(
+        program=execution.program.name,
+        kind=kind,
+        step_count=execution.step_count,
+        failing_thread=failing_thread,
+        failure=failure,
+        globals=dict(execution.globals),
+        heap=_dump_heap(execution.heap),
+        lock_owner=execution.locks.snapshot(),
+        threads=threads,
+    )

@@ -1,0 +1,96 @@
+"""Reference-path reachability over a core dump.
+
+Mirrors the paper's use of Boehm's garbage-collector traversal: starting
+from the globals and the failing thread's locals, follow pointer fields
+through the heap, naming every reachable primitive cell by its *reference
+path* (e.g. ``g:cache->pq->size``).  Reference paths — not heap
+addresses — are the identities compared across the failing and passing
+dumps, because object ids are run-specific.
+
+Deviation from the paper (documented in DESIGN.md): an object reachable
+through several paths (aliasing) is canonicalized to its first path in
+deterministic BFS order, rather than being treated as one variable per
+alias path; this keeps traversal bounded on cyclic heaps.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..lang.values import Pointer, comparable_form, is_primitive
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One comparable memory cell found by the traversal."""
+
+    path: str
+    value: object       # comparable form (pointers collapsed to NULL/non-NULL)
+    shared: bool        # rooted at a global (vs. thread-local)
+    location: tuple     # runtime location identity within *this* dump
+
+
+def _root_iter(dump, thread_name, include_locals):
+    """Deterministic root enumeration: globals, then the thread's locals.
+
+    The paper compares "all global variables, the local variables on the
+    current stack frame of the failing thread, and all the heap variables
+    reachable from registers, global variables or the local variables of
+    the failing thread".  We traverse locals of every frame of the failing
+    thread (a superset of the top frame), which only adds comparable
+    cells.
+    """
+    for name in sorted(dump.globals):
+        yield "g:%s" % name, dump.globals[name], True, ("global", name)
+    if not include_locals or thread_name is None:
+        return
+    thread = dump.thread_dump(thread_name)
+    for depth, frame in enumerate(thread.frames):
+        for var in sorted(frame.locals):
+            path = "l:%s#%d:%s:%s" % (thread_name, depth, frame.func, var)
+            yield path, frame.locals[var], False, \
+                ("local", thread_name, frame.uid, var)
+
+
+def reachable_cells(dump, thread_name=None, include_locals=True):
+    """All comparable cells of ``dump``, keyed by reference path.
+
+    Returns ``(cells, object_paths)`` where ``cells`` maps path string to
+    :class:`Cell` and ``object_paths`` maps heap object id to its
+    canonical path (useful for reports).
+    """
+    cells = {}
+    object_paths = {}
+    queue = deque()
+
+    def visit_value(path, value, shared, location):
+        cells[path] = Cell(path=path, value=comparable_form(value),
+                           shared=shared, location=location)
+        if isinstance(value, Pointer) and not value.is_null:
+            if value.obj_id not in object_paths:
+                object_paths[value.obj_id] = path
+                queue.append((path, value.obj_id, shared))
+
+    for path, value, shared, location in _root_iter(dump, thread_name,
+                                                    include_locals):
+        visit_value(path, value, shared, location)
+
+    while queue:
+        base_path, obj_id, shared = queue.popleft()
+        kind, payload = dump.heap_object(obj_id)
+        if kind == "struct":
+            items = sorted(payload.items())
+            for field_name, value in items:
+                path = "%s->%s" % (base_path, field_name)
+                visit_value(path, value, shared, ("heap", obj_id, field_name))
+        else:  # array
+            for idx, value in enumerate(payload):
+                path = "%s[%d]" % (base_path, idx)
+                visit_value(path, value, shared, ("heap", obj_id, idx))
+
+    return cells, object_paths
+
+
+def shared_cells(dump):
+    """Only the cells rooted at globals — the shared-variable universe."""
+    cells, _ = reachable_cells(dump, thread_name=None, include_locals=False)
+    return cells

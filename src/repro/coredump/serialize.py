@@ -1,0 +1,129 @@
+"""Core dump (de)serialization.
+
+Dumps serialize to JSON so their sizes can be measured (Table 3's
+``core dump`` column) and so parsing cost can be charged realistically
+(Table 6's ``core dump parsing`` column — the paper's dominant cost was
+GDB's string interface; ours is JSON decode plus reconstruction).
+"""
+
+import json
+
+from ..lang.errors import DumpError
+from ..lang.values import Pointer
+from ..runtime.events import Failure
+from .dump import CoreDump, FrameDump, ThreadDump
+
+
+def _encode_value(value):
+    if isinstance(value, Pointer):
+        return {"$ptr": value.obj_id}
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    raise DumpError("unserializable value %r" % (value,))
+
+
+def _decode_value(value):
+    if isinstance(value, dict):
+        if "$ptr" in value:
+            return Pointer(value["$ptr"])
+        raise DumpError("unknown encoded value %r" % (value,))
+    return value
+
+
+def _encode_cells(mapping):
+    return {str(k): _encode_value(v) for k, v in mapping.items()}
+
+
+def dump_to_json(dump):
+    """Serialize ``dump`` to a JSON string."""
+    doc = {
+        "program": dump.program,
+        "kind": dump.kind,
+        "step_count": dump.step_count,
+        "failing_thread": dump.failing_thread,
+        "failure": None if dump.failure is None else {
+            "kind": dump.failure.kind,
+            "pc": dump.failure.pc,
+            "thread": dump.failure.thread,
+            "message": dump.failure.message,
+        },
+        "globals": _encode_cells(dump.globals),
+        "heap": {
+            str(obj_id): {
+                "kind": kind,
+                "payload": (_encode_cells(payload) if kind == "struct"
+                            else [_encode_value(v) for v in payload]),
+            }
+            for obj_id, (kind, payload) in dump.heap.items()
+        },
+        "lock_owner": dump.lock_owner,
+        "threads": {
+            name: {
+                "status": t.status,
+                "instr_count": t.instr_count,
+                "frames": [
+                    {
+                        "uid": f.uid,
+                        "func": f.func,
+                        "pc": f.pc,
+                        "locals": _encode_cells(f.locals),
+                        "loop_counters": {str(k): v
+                                          for k, v in f.loop_counters.items()},
+                        "return_to": f.return_to,
+                    }
+                    for f in t.frames
+                ],
+            }
+            for name, t in dump.threads.items()
+        },
+    }
+    return json.dumps(doc, sort_keys=True)
+
+
+def dump_from_json(text):
+    """Parse a JSON core dump back into a :class:`CoreDump`."""
+    doc = json.loads(text)
+    failure = None
+    if doc["failure"] is not None:
+        failure = Failure(kind=doc["failure"]["kind"], pc=doc["failure"]["pc"],
+                          thread=doc["failure"]["thread"],
+                          message=doc["failure"]["message"])
+    heap = {}
+    for obj_id, entry in doc["heap"].items():
+        if entry["kind"] == "struct":
+            payload = {k: _decode_value(v) for k, v in entry["payload"].items()}
+        else:
+            payload = [_decode_value(v) for v in entry["payload"]]
+        heap[int(obj_id)] = (entry["kind"], payload)
+    threads = {}
+    for name, t in doc["threads"].items():
+        frames = [
+            FrameDump(uid=f["uid"], func=f["func"], pc=f["pc"],
+                      locals={k: _decode_value(v)
+                              for k, v in f["locals"].items()},
+                      loop_counters={int(k): v
+                                     for k, v in f["loop_counters"].items()},
+                      return_to=f["return_to"])
+            for f in t["frames"]
+        ]
+        threads[name] = ThreadDump(name=name, status=t["status"],
+                                   frames=frames,
+                                   instr_count=t["instr_count"])
+    return CoreDump(
+        program=doc["program"],
+        kind=doc["kind"],
+        step_count=doc["step_count"],
+        failing_thread=doc["failing_thread"],
+        failure=failure,
+        globals={k: _decode_value(v) for k, v in doc["globals"].items()},
+        heap=heap,
+        lock_owner=doc["lock_owner"],
+        threads=threads,
+    )
+
+
+def dump_size_bytes(dump):
+    """Size of the serialized dump — the Table 3 ``core dump`` metric."""
+    return len(dump_to_json(dump).encode("utf-8"))

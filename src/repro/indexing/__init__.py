@@ -1,0 +1,37 @@
+"""Execution indexing: online EI, Algorithm 1 reverse engineering, alignment."""
+
+from .align import (
+    AlignmentHook,
+    AlignmentResult,
+    AlignmentStatus,
+    collect_static_uses,
+)
+from .index import (
+    AggregateEntry,
+    BranchEntry,
+    Index,
+    IndexEntry,
+    MethodEntry,
+    StatementEntry,
+    ThreadEntry,
+)
+from .online import current_index, settled_regions
+from .reverse import get_loop_count, reverse_engineer_index
+
+__all__ = [
+    "AlignmentHook",
+    "AlignmentResult",
+    "AlignmentStatus",
+    "collect_static_uses",
+    "AggregateEntry",
+    "BranchEntry",
+    "Index",
+    "IndexEntry",
+    "MethodEntry",
+    "StatementEntry",
+    "ThreadEntry",
+    "current_index",
+    "settled_regions",
+    "get_loop_count",
+    "reverse_engineer_index",
+]

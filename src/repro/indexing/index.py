@@ -1,0 +1,122 @@
+"""Execution index representation.
+
+An index is the root-to-leaf path in the (implicit) index tree of
+Fig. 3: it starts at a thread entry, passes through method-body and
+predicate-branch regions, and ends at the statement instance it
+identifies.  Two executions align a point when they produce the same
+index (paper Sec. 3.1).
+
+Entry kinds:
+
+* :class:`ThreadEntry` — the root; the thread and its entry function.
+* :class:`MethodEntry` — a method-body region, keyed by callee *and*
+  call-site pc (two different call statements to the same function are
+  distinct regions).
+* :class:`BranchEntry` — a predicate-branch region ``p^b``; consecutive
+  equal loop entries encode loop iterations (the ``2T -> 2T`` spine).
+* :class:`AggregateEntry` — a short-circuit chain folded into one complex
+  predicate (``11-12T``), produced by reverse engineering.
+* :class:`StatementEntry` — the leaf.
+
+``approx=True`` on a :class:`BranchEntry` marks the common-ancestor
+recovery of Algorithm 1's non-aggregatable case, where precision is
+deliberately given up.
+"""
+
+from dataclasses import dataclass
+
+
+class IndexEntry:
+    """Base class for index entries."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ThreadEntry(IndexEntry):
+    thread: str
+    func: str
+
+    def describe(self):
+        return "thread:%s(%s)" % (self.thread, self.func)
+
+
+@dataclass(frozen=True)
+class MethodEntry(IndexEntry):
+    func: str
+    call_pc: int
+
+    def describe(self):
+        return "%s@call:%d" % (self.func, self.call_pc)
+
+
+@dataclass(frozen=True)
+class BranchEntry(IndexEntry):
+    pred_pc: int
+    outcome: bool
+    approx: bool = False
+
+    def describe(self):
+        suffix = "T" if self.outcome else "F"
+        return "%d%s%s" % (self.pred_pc, suffix, "~" if self.approx else "")
+
+
+@dataclass(frozen=True)
+class AggregateEntry(IndexEntry):
+    members: tuple  # predicate pcs in chain order
+    outcome: bool
+
+    def describe(self):
+        suffix = "T" if self.outcome else "F"
+        return "-".join(str(pc) for pc in self.members) + suffix
+
+
+@dataclass(frozen=True)
+class StatementEntry(IndexEntry):
+    pc: int
+
+    def describe(self):
+        return "s:%d" % self.pc
+
+
+class Index:
+    """An immutable root-to-leaf index path."""
+
+    def __init__(self, entries):
+        self.entries = tuple(entries)
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __getitem__(self, i):
+        return self.entries[i]
+
+    def __eq__(self, other):
+        return isinstance(other, Index) and self.entries == other.entries
+
+    def __hash__(self):
+        return hash(self.entries)
+
+    @property
+    def root(self):
+        return self.entries[0]
+
+    @property
+    def leaf(self):
+        return self.entries[-1]
+
+    @property
+    def thread(self):
+        root = self.entries[0]
+        if isinstance(root, ThreadEntry):
+            return root.thread
+        return None
+
+    def describe(self):
+        return " -> ".join(entry.describe() for entry in self.entries)
+
+    def __repr__(self):
+        return "Index[%s]" % self.describe()

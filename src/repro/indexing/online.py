@@ -1,0 +1,58 @@
+"""Online execution indexing (EI rules 1-4).
+
+The interpreter already maintains the index stack implicitly: each
+frame's region stack holds one entry per live predicate-branch region
+(pushed at the branch — rule 3 — and popped at the predicate's immediate
+post-dominator — rule 4), and the call stack provides the method-body
+nesting (rules 1 and 2).  The current index of a thread is therefore a
+pure *derivation* over live state, which is what this module computes.
+
+This is the ground truth against which the reverse-engineered index of
+Algorithm 1 is validated (they must agree whenever the failure point's
+static control dependences are unambiguous).
+"""
+
+from ..lang.errors import IndexingError
+from .index import BranchEntry, Index, MethodEntry, StatementEntry, ThreadEntry
+
+
+def current_index(execution, thread_name, leaf_pc=None):
+    """The execution index of ``thread_name``'s current point.
+
+    ``leaf_pc`` defaults to the thread's current pc.  Note: the leaf's
+    pending region pops (rule 4) are applied *lazily* by the interpreter
+    at fetch time, so indices derived between steps may carry regions
+    that close exactly at the leaf; :func:`settled_regions` compensates.
+    """
+    thread = execution.threads[thread_name]
+    if not thread.frames:
+        raise IndexingError("thread %s has no live frames" % thread_name)
+    entries = []
+    for depth, frame in enumerate(thread.frames):
+        if depth == 0:
+            entries.append(ThreadEntry(thread=thread_name, func=frame.func))
+        else:
+            caller = thread.frames[depth - 1]
+            entries.append(MethodEntry(func=frame.func, call_pc=caller.pc))
+        is_top = depth == len(thread.frames) - 1
+        pc_here = (leaf_pc if leaf_pc is not None else frame.pc) if is_top \
+            else frame.pc
+        for region in settled_regions(frame, pc_here):
+            entries.append(BranchEntry(pred_pc=region.pred_pc,
+                                       outcome=region.outcome))
+    leaf = leaf_pc if leaf_pc is not None else thread.pc
+    entries.append(StatementEntry(pc=leaf))
+    return Index(entries)
+
+
+def settled_regions(frame, pc):
+    """The frame's regions after applying rule 4's pops for ``pc``.
+
+    The interpreter pops regions whose exit is ``pc`` when it *fetches*
+    ``pc``; deriving an index between steps must apply the same pops
+    virtually, without mutating the frame.
+    """
+    regions = list(frame.region_stack)
+    while regions and regions[-1].exit_pc == pc:
+        regions.pop()
+    return regions

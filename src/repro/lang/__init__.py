@@ -1,0 +1,56 @@
+"""The mini concurrent language: AST, values, lowering, builder, parser."""
+
+from . import ast, builder
+from .errors import (
+    AnalysisError,
+    AssertionFault,
+    DivisionByZero,
+    DumpError,
+    IndexingError,
+    InterpreterError,
+    LockFault,
+    LoweringError,
+    NullDereference,
+    OutOfBounds,
+    ParseError,
+    ReproError,
+    RuntimeFault,
+    SchedulerError,
+    SearchError,
+)
+from .lower import CompiledProgram, FuncCode, Instr, Opcode, lower_program
+from .program import Function, Program, ThreadSpec
+from .values import NULL, Pointer, comparable_form, is_pointer, is_primitive
+
+__all__ = [
+    "ast",
+    "builder",
+    "AnalysisError",
+    "AssertionFault",
+    "DivisionByZero",
+    "DumpError",
+    "IndexingError",
+    "InterpreterError",
+    "LockFault",
+    "LoweringError",
+    "NullDereference",
+    "OutOfBounds",
+    "ParseError",
+    "ReproError",
+    "RuntimeFault",
+    "SchedulerError",
+    "SearchError",
+    "CompiledProgram",
+    "FuncCode",
+    "Instr",
+    "Opcode",
+    "lower_program",
+    "Function",
+    "Program",
+    "ThreadSpec",
+    "NULL",
+    "Pointer",
+    "comparable_form",
+    "is_pointer",
+    "is_primitive",
+]

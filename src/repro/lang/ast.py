@@ -1,0 +1,329 @@
+"""Abstract syntax of the mini concurrent language.
+
+Programs are trees of statements and expressions.  The surface language is
+close to the C subset used throughout the paper: assignments, structured
+control flow (``if``/``while``/``for``), unstructured jumps (``goto``,
+``break``, ``continue``), function calls, lock acquire/release, assertions
+and output.  Shared state lives in program globals; heap structs and
+arrays are reached through pointers.
+
+Each statement records a ``line`` number (assigned by the builder or the
+parser) used in human-readable indices, reports, and PC labels.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expressions (no side effects except allocation)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal int/bool/float/str."""
+
+    value: object
+
+    def __repr__(self):
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Null(Expr):
+    """The null pointer literal."""
+
+    def __repr__(self):
+        return "NULL"
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A named variable reference; resolves local-first, then global."""
+
+    name: str
+
+    def __repr__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class Bin(Expr):
+    """A binary operation.
+
+    ``and``/``or`` evaluate both operands eagerly here; short-circuit
+    disjunction in branch conditions (the paper's Fig. 5(b) pattern) is
+    expressed by :class:`If` lowering, see :mod:`repro.lang.lower`.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __repr__(self):
+        return "(%r %s %r)" % (self.left, self.op, self.right)
+
+
+@dataclass(frozen=True)
+class Un(Expr):
+    """A unary operation: ``not`` or ``-``."""
+
+    op: str
+    operand: Expr
+
+    def __repr__(self):
+        return "(%s %r)" % (self.op, self.operand)
+
+
+@dataclass(frozen=True)
+class Field(Expr):
+    """Pointer dereference plus field selection: ``base->name``."""
+
+    base: Expr
+    name: str
+
+    def __repr__(self):
+        return "%r->%s" % (self.base, self.name)
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """Array element access through a pointer: ``base[index]``."""
+
+    base: Expr
+    index: Expr
+
+    def __repr__(self):
+        return "%r[%r]" % (self.base, self.index)
+
+
+@dataclass(frozen=True)
+class AllocStruct(Expr):
+    """Heap-allocate a struct with the given field initializers.
+
+    Only legal as the right-hand side of an assignment.
+    """
+
+    fields: tuple  # tuple of (name, Expr) pairs, order preserved
+
+    def __repr__(self):
+        inner = ", ".join("%s=%r" % (n, e) for n, e in self.fields)
+        return "new{%s}" % inner
+
+
+@dataclass(frozen=True)
+class AllocArray(Expr):
+    """Heap-allocate an array.
+
+    Either ``size`` (filled with ``fill``) or an explicit tuple of element
+    expressions must be provided.  Only legal as an assignment RHS.
+    """
+
+    size: Optional[Expr] = None
+    fill: Optional[Expr] = None
+    elements: Optional[tuple] = None
+
+    def __repr__(self):
+        if self.elements is not None:
+            return "new[%s]" % (", ".join(repr(e) for e in self.elements))
+        return "new[%r x %r]" % (self.size, self.fill)
+
+
+BINARY_OPS = {
+    "+", "-", "*", "/", "%",
+    "<", "<=", ">", ">=", "==", "!=",
+    "and", "or",
+}
+
+UNARY_OPS = {"not", "-"}
+
+
+def is_lvalue(expr):
+    """True if ``expr`` may appear as an assignment target."""
+    return isinstance(expr, (Var, Field, Index))
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class for statements."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr  # Var | Field | Index
+    expr: Expr
+    line: int = 0
+
+    def __repr__(self):
+        return "%r = %r" % (self.target, self.expr)
+
+
+@dataclass
+class If(Stmt):
+    """Conditional.
+
+    When ``cond`` is a top-level ``or`` chain, lowering produces the
+    short-circuit multi-branch shape the paper classifies as
+    "aggregatable to one" control dependence (Fig. 5(b)); a top-level
+    ``and`` chain lowers symmetrically.
+    """
+
+    cond: Expr
+    then: list = field(default_factory=list)
+    orelse: list = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class While(Stmt):
+    """A while loop.  Its iteration count needs instrumentation (Sec. 3.2)."""
+
+    cond: Expr
+    body: list = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class For(Stmt):
+    """A counted loop ``for (var = start; var < stop; var += step)``.
+
+    Its live iteration count is recoverable from the induction variable in
+    a core dump without instrumentation, matching the paper's distinction
+    between loops "with a loop count" and ``while`` constructs.
+    """
+
+    var: str
+    start: Expr
+    stop: Expr
+    body: list = field(default_factory=list)
+    step: Expr = Const(1)
+    line: int = 0
+
+
+@dataclass
+class Call(Stmt):
+    func: str
+    args: list = field(default_factory=list)
+    target: Optional[Expr] = None  # optional lvalue receiving the result
+    line: int = 0
+
+
+@dataclass
+class Return(Stmt):
+    expr: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class Acquire(Stmt):
+    lock: str
+    line: int = 0
+
+
+@dataclass
+class Release(Stmt):
+    lock: str
+    line: int = 0
+
+
+@dataclass
+class Break(Stmt):
+    line: int = 0
+
+
+@dataclass
+class Continue(Stmt):
+    line: int = 0
+
+
+@dataclass
+class Label(Stmt):
+    """A goto target."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Goto(Stmt):
+    """Unconditional jump to a :class:`Label` in the same function.
+
+    Gotos produce the non-aggregatable multiple control dependences of the
+    paper's Fig. 6.
+    """
+
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Assert(Stmt):
+    """Crash with :class:`repro.lang.errors.AssertionFault` when false."""
+
+    cond: Expr
+    message: str = "assertion failed"
+    line: int = 0
+
+
+@dataclass
+class Output(Stmt):
+    """Append a value to the execution's output stream.
+
+    Used by the extension for non-crashing wrong-output failures
+    (paper Sec. 7).
+    """
+
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class Skip(Stmt):
+    """A no-op statement."""
+
+    line: int = 0
+
+
+def walk_statements(body):
+    """Yield every statement in ``body`` recursively, pre-order."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, If):
+            for inner in walk_statements(stmt.then):
+                yield inner
+            for inner in walk_statements(stmt.orelse):
+                yield inner
+        elif isinstance(stmt, (While, For)):
+            for inner in walk_statements(stmt.body):
+                yield inner
+
+
+def assign_lines(body, start=1):
+    """Assign sequential line numbers to statements missing one.
+
+    Returns the next free line number.  The builder calls this so that
+    hand-constructed programs get stable, human-readable line labels.
+    """
+    line = start
+    for stmt in body:
+        if stmt.line == 0:
+            stmt.line = line
+        line = max(line, stmt.line) + 1
+        if isinstance(stmt, If):
+            line = assign_lines(stmt.then, line)
+            line = assign_lines(stmt.orelse, line)
+        elif isinstance(stmt, (While, For)):
+            line = assign_lines(stmt.body, line)
+    return line

@@ -1,0 +1,191 @@
+"""A small fluent layer for constructing programs in Python.
+
+The bug suite (:mod:`repro.bugs`) and the tests build programs with these
+helpers rather than raw AST nodes: plain ints/bools/strings lift to
+:class:`~repro.lang.ast.Const`, bare strings in statement positions lift
+to :class:`~repro.lang.ast.Var`, and statement constructors accept nested
+lists, so a program reads close to its C original.
+
+    >>> from repro.lang import builder as B
+    >>> body = [
+    ...     B.assign("x", 0),
+    ...     B.if_(B.not_(B.v("x")), [B.call("F", [B.v("p")])]),
+    ... ]
+"""
+
+from . import ast
+from .program import Function, Program, ThreadSpec
+
+
+# -- expression lifting ------------------------------------------------------
+
+
+def lift(value):
+    """Lift a Python value to an expression: Expr passthrough, else Const."""
+    if isinstance(value, ast.Expr):
+        return value
+    if isinstance(value, (int, bool, float, str)):
+        return ast.Const(value)
+    if value is None:
+        return ast.Null()
+    raise TypeError("cannot lift %r to an expression" % (value,))
+
+
+def lift_lvalue(value):
+    """Lift an assignment target: a bare string means a variable name."""
+    if isinstance(value, str):
+        return ast.Var(value)
+    if isinstance(value, ast.Expr) and ast.is_lvalue(value):
+        return value
+    raise TypeError("%r is not an lvalue" % (value,))
+
+
+def v(name):
+    """A variable reference."""
+    return ast.Var(name)
+
+
+def c(value):
+    """A constant."""
+    return ast.Const(value)
+
+
+def null():
+    """The null pointer."""
+    return ast.Null()
+
+
+def _bin(op):
+    def make(left, right):
+        return ast.Bin(op, lift(left), lift(right))
+    make.__name__ = op
+    return make
+
+
+add = _bin("+")
+sub = _bin("-")
+mul = _bin("*")
+div = _bin("/")
+mod = _bin("%")
+lt = _bin("<")
+le = _bin("<=")
+gt = _bin(">")
+ge = _bin(">=")
+eq = _bin("==")
+ne = _bin("!=")
+and_ = _bin("and")
+or_ = _bin("or")
+
+
+def not_(operand):
+    return ast.Un("not", lift(operand))
+
+
+def neg(operand):
+    return ast.Un("-", lift(operand))
+
+
+def field(base, name):
+    """``base->name`` (pointer dereference + field select)."""
+    return ast.Field(lift(base), name)
+
+
+def index(base, idx):
+    """``base[idx]`` (array element through a pointer)."""
+    return ast.Index(lift(base), lift(idx))
+
+
+def alloc_struct(**fields):
+    """``new struct { name = expr, ... }`` — assignment RHS only."""
+    return ast.AllocStruct(tuple((name, lift(e)) for name, e in fields.items()))
+
+
+def alloc_array(size=None, fill=0, elements=None):
+    """``new array`` — either ``size``+``fill`` or explicit ``elements``."""
+    if elements is not None:
+        return ast.AllocArray(elements=tuple(lift(e) for e in elements))
+    return ast.AllocArray(size=lift(size), fill=lift(fill))
+
+
+# -- statements ---------------------------------------------------------------
+
+
+def assign(target, expr, line=0):
+    return ast.Assign(lift_lvalue(target), lift(expr), line=line)
+
+
+def if_(cond, then, orelse=(), line=0):
+    return ast.If(lift(cond), list(then), list(orelse), line=line)
+
+
+def while_(cond, body, line=0):
+    return ast.While(lift(cond), list(body), line=line)
+
+
+def for_(var, start, stop, body, step=1, line=0):
+    return ast.For(var, lift(start), lift(stop), list(body),
+                   step=lift(step), line=line)
+
+
+def call(func, args=(), target=None, line=0):
+    lv = lift_lvalue(target) if target is not None else None
+    return ast.Call(func, [lift(a) for a in args], target=lv, line=line)
+
+
+def ret(expr=None, line=0):
+    return ast.Return(lift(expr) if expr is not None else None, line=line)
+
+
+def acquire(lock, line=0):
+    return ast.Acquire(lock, line=line)
+
+
+def release(lock, line=0):
+    return ast.Release(lock, line=line)
+
+
+def break_(line=0):
+    return ast.Break(line=line)
+
+
+def continue_(line=0):
+    return ast.Continue(line=line)
+
+
+def label(name, line=0):
+    return ast.Label(name, line=line)
+
+
+def goto(name, line=0):
+    return ast.Goto(name, line=line)
+
+
+def assert_(cond, message="assertion failed", line=0):
+    return ast.Assert(lift(cond), message, line=line)
+
+
+def output(expr, line=0):
+    return ast.Output(lift(expr), line=line)
+
+
+def skip(line=0):
+    return ast.Skip(line=line)
+
+
+# -- program assembly ---------------------------------------------------------
+
+
+def func(name, params=(), body=()):
+    return Function(name, list(params), list(body))
+
+
+def thread(name, entry, args=()):
+    return ThreadSpec(name, entry, list(args))
+
+
+def program(name, globals_=None, functions=(), threads=(), locks=(),
+            inputs=()):
+    """Assemble and validate a :class:`~repro.lang.program.Program`."""
+    prog = Program(name, globals_=globals_, functions=functions,
+                   threads=threads, locks=locks, inputs=inputs)
+    return prog.validate()

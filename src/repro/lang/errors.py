@@ -1,0 +1,91 @@
+"""Exception hierarchy for the mini concurrent language and its runtime."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class LoweringError(ReproError):
+    """The AST could not be lowered to the flat instruction IR."""
+
+
+class ParseError(ReproError):
+    """The textual program could not be parsed."""
+
+
+class AnalysisError(ReproError):
+    """A static analysis precondition was violated."""
+
+
+class RuntimeFault(ReproError):
+    """A simulated program fault (crash) during interpretation.
+
+    Faults are the analogue of signals such as SIGSEGV in the paper: they
+    terminate the execution and trigger core-dump generation.
+    """
+
+    kind = "fault"
+
+    def __init__(self, message, pc=None, thread=None):
+        super().__init__(message)
+        self.message = message
+        self.pc = pc
+        self.thread = thread
+
+    def describe(self):
+        return "%s at pc=%s in %s: %s" % (self.kind, self.pc, self.thread, self.message)
+
+
+class NullDereference(RuntimeFault):
+    """Dereference of a null pointer (the paper's running-example crash)."""
+
+    kind = "null-deref"
+
+
+class OutOfBounds(RuntimeFault):
+    """Array access outside the allocated bounds."""
+
+    kind = "out-of-bounds"
+
+
+class DivisionByZero(RuntimeFault):
+    """Integer division or modulo by zero."""
+
+    kind = "div-by-zero"
+
+
+class AssertionFault(RuntimeFault):
+    """An ``assert`` statement evaluated to false."""
+
+    kind = "assert"
+
+
+class LockFault(RuntimeFault):
+    """Misuse of a lock (re-acquire by owner, release by non-owner)."""
+
+    kind = "lock"
+
+
+class InterpreterError(ReproError):
+    """An internal invariant of the interpreter was violated.
+
+    Unlike :class:`RuntimeFault`, this indicates a bug in the host library
+    (or an ill-formed program), not a simulated crash of the subject
+    program.
+    """
+
+
+class SchedulerError(ReproError):
+    """The scheduler was asked to make an impossible decision."""
+
+
+class DumpError(ReproError):
+    """A core dump could not be produced, parsed, or compared."""
+
+
+class IndexingError(ReproError):
+    """Execution-index construction or reverse engineering failed."""
+
+
+class SearchError(ReproError):
+    """The schedule-search layer hit an unrecoverable condition."""

@@ -1,0 +1,401 @@
+"""Lowering of the structured AST to a flat instruction IR.
+
+Every statement becomes one or more :class:`Instr` with a globally unique
+``pc``.  The IR is the common substrate of the interpreter, the CFG /
+post-dominator / control-dependence analyses, execution indexing, and the
+schedule search: a "PC" in this repository means an index into
+``CompiledProgram.instrs``, exactly as a code address does in the paper.
+
+Lowering rules (mirroring a C compiler's shape, which the paper's
+analyses assume):
+
+``if (c) T else E``
+    ``BRANCH c -> then / else``; then-block; ``JUMP join``; else-block;
+    ``join: NOP``.  A top-level ``or`` chain in ``c`` becomes a cascade of
+    BRANCHes sharing the then-target (short-circuit — the paper's
+    Fig. 5(b) "aggregatable" pattern); ``and`` chains are symmetric.
+
+``while (c) B``
+    ``header: BRANCH c -> body / exit`` with ``is_loop=True``; body;
+    ``JUMP header``; ``exit: NOP``.  Iteration counts of while loops need
+    runtime instrumentation (paper Sec. 3.2).
+
+``for (v = a; v < b; v += s) B``
+    Induction variable assignment, a loop BRANCH carrying
+    ``counter_var``/``counter_start``/``counter_step`` metadata (so the
+    live iteration count is recoverable from a core dump without
+    instrumentation), body, increment, back-jump, exit NOP.
+
+``goto L``
+    A ``JUMP`` patched to the label's NOP — the source of the paper's
+    non-aggregatable multiple control dependences (Fig. 6).
+"""
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from . import ast
+from .errors import LoweringError
+
+
+class Opcode(Enum):
+    ASSIGN = "assign"
+    BRANCH = "branch"
+    JUMP = "jump"
+    CALL = "call"
+    RETURN = "return"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+    ASSERT = "assert"
+    OUTPUT = "output"
+    NOP = "nop"
+
+    def __repr__(self):
+        return self.value
+
+
+@dataclass
+class Instr:
+    """One IR instruction.  Fields beyond ``pc/op/func/line`` are op-specific."""
+
+    pc: int
+    op: Opcode
+    func: str
+    line: int = 0
+    # ASSIGN
+    target: Optional[ast.Expr] = None
+    expr: Optional[ast.Expr] = None
+    # BRANCH
+    cond: Optional[ast.Expr] = None
+    t_target: Optional[int] = None
+    f_target: Optional[int] = None
+    is_loop: bool = False
+    loop_id: Optional[int] = None
+    counter_var: Optional[str] = None
+    counter_start: Optional[ast.Expr] = None
+    counter_step: Optional[ast.Expr] = None
+    # JUMP
+    jump_target: Optional[int] = None
+    # CALL
+    callee: Optional[str] = None
+    args: tuple = ()
+    # ACQUIRE / RELEASE
+    lock: Optional[str] = None
+    # ASSERT
+    message: Optional[str] = None
+    # NOP annotation (join points, labels, loop exits)
+    note: str = ""
+
+    def label(self):
+        """Short human-readable form used in indices and reports."""
+        if self.op is Opcode.ASSIGN:
+            body = "%r=%r" % (self.target, self.expr)
+        elif self.op is Opcode.BRANCH:
+            body = "if(%r)" % (self.cond,)
+        elif self.op is Opcode.JUMP:
+            body = "goto %d" % self.jump_target
+        elif self.op is Opcode.CALL:
+            body = "call %s" % self.callee
+        elif self.op is Opcode.RETURN:
+            body = "return"
+        elif self.op is Opcode.ACQUIRE:
+            body = "acquire(%s)" % self.lock
+        elif self.op is Opcode.RELEASE:
+            body = "release(%s)" % self.lock
+        elif self.op is Opcode.ASSERT:
+            body = "assert"
+        elif self.op is Opcode.OUTPUT:
+            body = "output"
+        else:
+            body = "nop:%s" % self.note
+        return "%d@L%d:%s" % (self.pc, self.line, body)
+
+
+@dataclass
+class FuncCode:
+    """Compiled form of one function: a contiguous PC range."""
+
+    name: str
+    params: list
+    entry_pc: int
+    end_pc: int = 0  # one past the last instruction
+    #: virtual single-exit CFG node id (negative, unique per function)
+    virtual_exit: int = 0
+    #: loop_id -> header pc for loops lexically inside this function
+    loops: dict = field(default_factory=dict)
+
+    def pcs(self):
+        return range(self.entry_pc, self.end_pc)
+
+
+class CompiledProgram:
+    """The flat-IR form of a :class:`repro.lang.program.Program`."""
+
+    def __init__(self, program):
+        self.program = program
+        self.instrs = []
+        self.functions = {}
+        self._pc2func = {}
+        self.loop_headers = {}  # loop_id -> header pc (all functions)
+
+    # -- queries -----------------------------------------------------------
+
+    def instr(self, pc):
+        return self.instrs[pc]
+
+    def func_of(self, pc):
+        """Name of the function owning ``pc``."""
+        return self._pc2func[pc]
+
+    def func_code(self, name):
+        return self.functions[name]
+
+    def entry_of_thread(self, spec):
+        return self.functions[spec.func].entry_pc
+
+    def pretty(self):
+        lines = []
+        for fc in self.functions.values():
+            lines.append("func %s(%s):" % (fc.name, ", ".join(fc.params)))
+            for pc in fc.pcs():
+                lines.append("  " + self.instrs[pc].label())
+        return "\n".join(lines)
+
+    def __len__(self):
+        return len(self.instrs)
+
+
+class _FunctionLowerer:
+    """Lowers one function body; owned by :func:`lower_program`."""
+
+    def __init__(self, compiled, func, loop_id_alloc):
+        self.compiled = compiled
+        self.func = func
+        self.instrs = compiled.instrs
+        self.loop_id_alloc = loop_id_alloc
+        self.loop_stack = []   # (continue_target_pc_or_fixup, break_fixups)
+        self.labels = {}       # label name -> pc
+        self.goto_fixups = []  # (instr, label name)
+        self.fc = None
+
+    # -- emission helpers ---------------------------------------------------
+
+    def _emit(self, op, line, **fields):
+        instr = Instr(pc=len(self.instrs), op=op, func=self.func.name,
+                      line=line, **fields)
+        self.instrs.append(instr)
+        self.compiled._pc2func[instr.pc] = self.func.name
+        return instr
+
+    def _next_pc(self):
+        return len(self.instrs)
+
+    # -- statement lowering --------------------------------------------------
+
+    def lower(self):
+        fc = FuncCode(name=self.func.name, params=list(self.func.params),
+                      entry_pc=self._next_pc())
+        self.fc = fc
+        self._lower_body(self.func.body)
+        # Implicit `return` for functions that fall off the end; also the
+        # single textual exit point.
+        self._emit(Opcode.RETURN, line=0)
+        fc.end_pc = self._next_pc()
+        for instr, label in self.goto_fixups:
+            if label not in self.labels:
+                raise LoweringError(
+                    "goto to undefined label %r in %s" % (label, self.func.name))
+            instr.jump_target = self.labels[label]
+        self.compiled.functions[fc.name] = fc
+        return fc
+
+    def _lower_body(self, body):
+        for stmt in body:
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt):
+        method = getattr(self, "_lower_" + type(stmt).__name__.lower(), None)
+        if method is None:
+            raise LoweringError("cannot lower %r" % (stmt,))
+        method(stmt)
+
+    def _lower_assign(self, stmt):
+        if not ast.is_lvalue(stmt.target):
+            raise LoweringError("assignment target %r is not an lvalue (line %d)"
+                                % (stmt.target, stmt.line))
+        self._emit(Opcode.ASSIGN, stmt.line, target=stmt.target, expr=stmt.expr)
+
+    def _lower_skip(self, stmt):
+        self._emit(Opcode.NOP, stmt.line, note="skip")
+
+    def _lower_output(self, stmt):
+        self._emit(Opcode.OUTPUT, stmt.line, expr=stmt.expr)
+
+    def _lower_assert(self, stmt):
+        self._emit(Opcode.ASSERT, stmt.line, cond=stmt.cond, message=stmt.message)
+
+    def _lower_acquire(self, stmt):
+        self._emit(Opcode.ACQUIRE, stmt.line, lock=stmt.lock)
+
+    def _lower_release(self, stmt):
+        self._emit(Opcode.RELEASE, stmt.line, lock=stmt.lock)
+
+    def _lower_call(self, stmt):
+        if stmt.target is not None and not ast.is_lvalue(stmt.target):
+            raise LoweringError("call target %r is not an lvalue" % (stmt.target,))
+        self._emit(Opcode.CALL, stmt.line, callee=stmt.func,
+                   args=tuple(stmt.args), target=stmt.target)
+
+    def _lower_return(self, stmt):
+        self._emit(Opcode.RETURN, stmt.line, expr=stmt.expr)
+
+    def _lower_label(self, stmt):
+        if stmt.name in self.labels:
+            raise LoweringError("duplicate label %r" % stmt.name)
+        nop = self._emit(Opcode.NOP, stmt.line, note="label:%s" % stmt.name)
+        self.labels[stmt.name] = nop.pc
+
+    def _lower_goto(self, stmt):
+        instr = self._emit(Opcode.JUMP, stmt.line, jump_target=-1)
+        self.goto_fixups.append((instr, stmt.name))
+
+    @staticmethod
+    def _flatten_chain(cond, op):
+        """Flatten a top-level `op` chain (or/and) into its conjuncts."""
+        if isinstance(cond, ast.Bin) and cond.op == op:
+            left = _FunctionLowerer._flatten_chain(cond.left, op)
+            right = _FunctionLowerer._flatten_chain(cond.right, op)
+            return left + right
+        return [cond]
+
+    def _lower_if(self, stmt):
+        or_terms = self._flatten_chain(stmt.cond, "or")
+        and_terms = self._flatten_chain(stmt.cond, "and")
+        if len(or_terms) > 1:
+            branches = [self._emit(Opcode.BRANCH, stmt.line, cond=term)
+                        for term in or_terms]
+            # Each term's true edge goes to the then-block; false edge
+            # falls through to the next term, the last one to else.
+            then_pc = self._next_pc()
+            for b in branches:
+                b.t_target = then_pc
+            chain, last = branches[:-1], branches[-1]
+        elif len(and_terms) > 1:
+            branches = []
+            for term in and_terms:
+                b = self._emit(Opcode.BRANCH, stmt.line, cond=term)
+                if branches:
+                    branches[-1].t_target = b.pc
+                branches.append(b)
+            branches[-1].t_target = self._next_pc()
+            chain, last = branches[:-1], branches[-1]
+        else:
+            last = self._emit(Opcode.BRANCH, stmt.line, cond=stmt.cond)
+            last.t_target = self._next_pc()
+            chain = []
+        self._lower_body(stmt.then)
+        jump_over = None
+        if stmt.orelse:
+            jump_over = self._emit(Opcode.JUMP, stmt.line, jump_target=-1)
+        else_pc = self._next_pc()
+        if len(and_terms) > 1:
+            for b in chain:
+                b.f_target = else_pc
+            last.f_target = else_pc
+        elif len(or_terms) > 1:
+            for b, nxt in zip(chain, chain[1:] + [last]):
+                b.f_target = nxt.pc
+            last.f_target = else_pc
+        else:
+            last.f_target = else_pc
+        self._lower_body(stmt.orelse)
+        join = self._emit(Opcode.NOP, stmt.line, note="join")
+        if jump_over is not None:
+            jump_over.jump_target = join.pc
+        if not stmt.orelse:
+            # Without an else, the false edges already point at else_pc,
+            # which is the join's pc only when no else body was emitted.
+            pass
+
+    def _new_loop_id(self):
+        loop_id = self.loop_id_alloc[0]
+        self.loop_id_alloc[0] += 1
+        return loop_id
+
+    def _lower_while(self, stmt):
+        loop_id = self._new_loop_id()
+        header = self._emit(Opcode.BRANCH, stmt.line, cond=stmt.cond,
+                            is_loop=True, loop_id=loop_id)
+        header.t_target = self._next_pc()
+        self.fc.loops[loop_id] = header.pc
+        self.compiled.loop_headers[loop_id] = header.pc
+        break_fixups = []
+        self.loop_stack.append((header.pc, break_fixups))
+        self._lower_body(stmt.body)
+        self._emit(Opcode.JUMP, stmt.line, jump_target=header.pc)
+        self.loop_stack.pop()
+        exit_nop = self._emit(Opcode.NOP, stmt.line, note="loop-exit:%d" % loop_id)
+        header.f_target = exit_nop.pc
+        for instr in break_fixups:
+            instr.jump_target = exit_nop.pc
+
+    def _lower_for(self, stmt):
+        loop_id = self._new_loop_id()
+        self._emit(Opcode.ASSIGN, stmt.line,
+                   target=ast.Var(stmt.var), expr=stmt.start)
+        cond = ast.Bin("<", ast.Var(stmt.var), stmt.stop)
+        header = self._emit(Opcode.BRANCH, stmt.line, cond=cond,
+                            is_loop=True, loop_id=loop_id,
+                            counter_var=stmt.var, counter_start=stmt.start,
+                            counter_step=stmt.step)
+        header.t_target = self._next_pc()
+        self.fc.loops[loop_id] = header.pc
+        self.compiled.loop_headers[loop_id] = header.pc
+        break_fixups = []
+        continue_fixups = []
+        self.loop_stack.append((("for", continue_fixups), break_fixups))
+        self._lower_body(stmt.body)
+        self.loop_stack.pop()
+        incr = self._emit(
+            Opcode.ASSIGN, stmt.line, target=ast.Var(stmt.var),
+            expr=ast.Bin("+", ast.Var(stmt.var), stmt.step))
+        for instr in continue_fixups:
+            instr.jump_target = incr.pc
+        self._emit(Opcode.JUMP, stmt.line, jump_target=header.pc)
+        exit_nop = self._emit(Opcode.NOP, stmt.line, note="loop-exit:%d" % loop_id)
+        header.f_target = exit_nop.pc
+        for instr in break_fixups:
+            instr.jump_target = exit_nop.pc
+
+    def _lower_break(self, stmt):
+        if not self.loop_stack:
+            raise LoweringError("break outside loop (line %d)" % stmt.line)
+        instr = self._emit(Opcode.JUMP, stmt.line, jump_target=-1)
+        self.loop_stack[-1][1].append(instr)
+
+    def _lower_continue(self, stmt):
+        if not self.loop_stack:
+            raise LoweringError("continue outside loop (line %d)" % stmt.line)
+        cont, _ = self.loop_stack[-1]
+        instr = self._emit(Opcode.JUMP, stmt.line, jump_target=-1)
+        if isinstance(cont, tuple):  # for-loop: jump to the increment
+            cont[1].append(instr)
+        else:
+            instr.jump_target = cont
+
+
+def lower_program(program):
+    """Lower ``program`` to a :class:`CompiledProgram`.
+
+    Raises :class:`LoweringError` on ill-formed input.
+    """
+    program.validate()
+    compiled = CompiledProgram(program)
+    loop_id_alloc = [0]
+    exit_id = -1
+    for func in program.functions.values():
+        fc = _FunctionLowerer(compiled, func, loop_id_alloc).lower()
+        fc.virtual_exit = exit_id
+        exit_id -= 1
+    return compiled

@@ -1,0 +1,118 @@
+"""Program-level containers: functions, threads, globals, locks.
+
+A :class:`Program` is the unit handed to the compiler (:mod:`lower`), the
+static analyses, and the runtime.  Threads are declared statically — each
+names an entry function — which matches how the paper's subjects spawn a
+fixed set of worker threads for a given request load.
+
+Global initializers may be plain primitives, or nested Python ``list`` /
+``dict`` structures which the runtime allocates on the heap at startup,
+storing a pointer in the global.  This is how shared caches, queues, and
+arrays (e.g. ``a[]`` of the running example) are modeled.
+"""
+
+from dataclasses import dataclass, field
+
+from .ast import assign_lines, walk_statements
+from .errors import LoweringError
+
+
+@dataclass
+class Function:
+    """A named function with positional parameters and a statement body."""
+
+    name: str
+    params: list = field(default_factory=list)
+    body: list = field(default_factory=list)
+
+    def statements(self):
+        """All statements of the body, recursively, pre-order."""
+        return walk_statements(self.body)
+
+
+@dataclass
+class ThreadSpec:
+    """A statically declared thread: entry function and constant args."""
+
+    name: str
+    func: str
+    args: list = field(default_factory=list)
+
+
+class Program:
+    """A complete mini-language program.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports and benchmark tables.
+    globals_:
+        Mapping of global variable names to initializers.  ``list`` and
+        ``dict`` initializers become heap arrays/structs reached through
+        a pointer-valued global.
+    functions:
+        Iterable of :class:`Function`.
+    threads:
+        Iterable of :class:`ThreadSpec`, in canonical scheduling order.
+    locks:
+        Names of the program's locks.  Locks referenced by
+        acquire/release statements must be declared here.
+    inputs:
+        Names of globals considered program input; ``input_overrides``
+        passed at run time may only touch these.
+    """
+
+    def __init__(self, name, globals_=None, functions=(), threads=(),
+                 locks=(), inputs=()):
+        self.name = name
+        self.globals = dict(globals_ or {})
+        self.functions = {}
+        for func in functions:
+            self.add_function(func)
+        self.threads = list(threads)
+        self.locks = set(locks)
+        self.inputs = tuple(inputs)
+        self._renumber_lines()
+
+    # -- construction -----------------------------------------------------
+
+    def add_function(self, func):
+        if func.name in self.functions:
+            raise LoweringError("duplicate function %r" % func.name)
+        self.functions[func.name] = func
+        return func
+
+    def add_thread(self, name, func, args=()):
+        self.threads.append(ThreadSpec(name, func, list(args)))
+
+    def _renumber_lines(self):
+        line = 1
+        for func in self.functions.values():
+            line = assign_lines(func.body, line)
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self):
+        """Check cross-references; raise :class:`LoweringError` on errors."""
+        for spec in self.threads:
+            if spec.func not in self.functions:
+                raise LoweringError(
+                    "thread %r names unknown function %r" % (spec.name, spec.func))
+        names = [spec.name for spec in self.threads]
+        if len(set(names)) != len(names):
+            raise LoweringError("duplicate thread names: %r" % names)
+        for func in self.functions.values():
+            for stmt in func.statements():
+                kind = type(stmt).__name__
+                if kind == "Call" and stmt.func not in self.functions:
+                    raise LoweringError(
+                        "call to unknown function %r (line %d)"
+                        % (stmt.func, stmt.line))
+                if kind in ("Acquire", "Release") and stmt.lock not in self.locks:
+                    raise LoweringError(
+                        "use of undeclared lock %r (line %d)"
+                        % (stmt.lock, stmt.line))
+        return self
+
+    def thread_names(self):
+        return [spec.name for spec in self.threads]

@@ -1,0 +1,62 @@
+"""Runtime values of the mini language.
+
+The value universe is deliberately small, mirroring what the paper's
+analysis actually inspects in a core dump: machine integers, booleans,
+floats, short strings, and pointers into a heap of structs and arrays.
+Pointers carry an opaque object id; ``NULL`` is a pointer with id
+``None``.  Heap objects themselves live in :mod:`repro.runtime.heap`.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """A typed reference to a heap object, or NULL when ``obj_id`` is None."""
+
+    obj_id: object = None
+
+    @property
+    def is_null(self):
+        return self.obj_id is None
+
+    def __repr__(self):
+        if self.is_null:
+            return "NULL"
+        return "ptr(%s)" % (self.obj_id,)
+
+
+NULL = Pointer(None)
+
+#: Python types a leaf memory cell may hold.  Pointers are navigated by the
+#: reachability traversal rather than compared bit-for-bit; see
+#: :func:`comparable_form`.
+PRIMITIVE_TYPES = (int, bool, float, str)
+
+
+def is_primitive(value):
+    """True if ``value`` is a leaf cell compared directly across dumps."""
+    return isinstance(value, PRIMITIVE_TYPES)
+
+
+def is_pointer(value):
+    return isinstance(value, Pointer)
+
+
+def comparable_form(value):
+    """Map a runtime value to the form used for cross-dump comparison.
+
+    Heap object ids are run-specific, so two pointers are compared only by
+    their null-ness — exactly enough to catch the paper's running example
+    where ``p`` is ``0`` in one run and a live pointer in the other.
+    """
+    if isinstance(value, Pointer):
+        return "NULL" if value.is_null else "non-NULL"
+    return value
+
+
+def check_value(value):
+    """Validate that ``value`` may be stored in a memory cell."""
+    if value is None or is_primitive(value) or is_pointer(value):
+        return value
+    raise TypeError("unsupported runtime value: %r" % (value,))

@@ -1,0 +1,23 @@
+"""End-to-end reproduction pipeline."""
+
+from .bundle import ProgramBundle
+from .reproducer import (
+    PhaseTimings,
+    ReproductionConfig,
+    ReproductionReport,
+    reproduce,
+    run_passing_with_alignment,
+)
+from .stress import StressResult, stress_test, verify_passes_on_single_core
+
+__all__ = [
+    "ProgramBundle",
+    "PhaseTimings",
+    "ReproductionConfig",
+    "ReproductionReport",
+    "reproduce",
+    "run_passing_with_alignment",
+    "StressResult",
+    "stress_test",
+    "verify_passes_on_single_core",
+]

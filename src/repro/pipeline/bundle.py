@@ -1,0 +1,37 @@
+"""A compiled program bundle: lowering + static analysis, cached together.
+
+Every phase of the pipeline (stress, alignment, search) re-executes the
+same program; the bundle keeps the one-time artifacts in one place.
+"""
+
+from ..analysis import StaticAnalysis
+from ..lang.lower import lower_program
+from ..runtime.interpreter import Execution
+
+
+class ProgramBundle:
+    """Compiled + analyzed form of one subject program."""
+
+    def __init__(self, program, max_steps=1_000_000):
+        self.program = program
+        self.compiled = lower_program(program)
+        self.analysis = StaticAnalysis(self.compiled)
+        self.max_steps = max_steps
+
+    @property
+    def name(self):
+        return self.program.name
+
+    def execution(self, scheduler, input_overrides=None, instrument_loops=True,
+                  hooks=(), max_steps=None):
+        """A fresh execution of the program under ``scheduler``."""
+        return Execution(
+            self.compiled, self.analysis, scheduler,
+            input_overrides=input_overrides,
+            instrument_loops=instrument_loops,
+            hooks=hooks,
+            max_steps=max_steps or self.max_steps,
+        )
+
+    def thread_names(self):
+        return self.program.thread_names()

@@ -1,0 +1,75 @@
+"""Stress testing: obtaining a failure core dump.
+
+The paper stress-tests the instrumented subjects on multiple cores until
+the reported bug manifests, then collects the core dump ("while stress
+testing is very expensive, it is not part of our proposed technique").
+Here a seeded random-interleaving scheduler plays the role of the
+multicore platform; seeds are swept until the expected failure appears.
+"""
+
+import time
+from dataclasses import dataclass
+
+from ..coredump.dump import take_core_dump
+from ..lang.errors import SearchError
+from ..runtime.scheduler import MulticoreScheduler
+
+
+@dataclass
+class StressResult:
+    """A reproduced production failure and its core dump."""
+
+    seed: int
+    runs_tried: int
+    wall_seconds: float
+    result: object         # RunResult of the failing run
+    execution: object      # the failed Execution (for ground-truth checks)
+    dump: object           # the failure CoreDump
+
+    @property
+    def failure(self):
+        return self.result.failure
+
+
+def stress_test(bundle, input_overrides=None, seeds=None, expected_kind=None,
+                expected_pc=None, switch_prob=0.3, instrument_loops=True):
+    """Run under random interleavings until the expected failure appears.
+
+    ``expected_kind``/``expected_pc`` restrict which failure counts as
+    "the" bug (matching the bug report); any failure qualifies when both
+    are None.
+    """
+    if seeds is None:
+        seeds = range(0, 2000)
+    start = time.perf_counter()
+    runs = 0
+    for seed in seeds:
+        runs += 1
+        execution = bundle.execution(
+            MulticoreScheduler(seed=seed, switch_prob=switch_prob),
+            input_overrides=input_overrides,
+            instrument_loops=instrument_loops)
+        result = execution.run()
+        if not result.failed:
+            continue
+        if expected_kind is not None and result.failure.kind != expected_kind:
+            continue
+        if expected_pc is not None and result.failure.pc != expected_pc:
+            continue
+        dump = take_core_dump(execution, "failure")
+        return StressResult(seed=seed, runs_tried=runs,
+                            wall_seconds=time.perf_counter() - start,
+                            result=result, execution=execution, dump=dump)
+    raise SearchError(
+        "no failing interleaving found for %s in %d runs"
+        % (bundle.name, runs))
+
+
+def verify_passes_on_single_core(bundle, input_overrides=None):
+    """Sanity check: the deterministic single-core run must not fail."""
+    from ..runtime.scheduler import DeterministicScheduler
+
+    execution = bundle.execution(DeterministicScheduler(),
+                                 input_overrides=input_overrides)
+    result = execution.run()
+    return result.completed

@@ -1,0 +1,48 @@
+"""Execution substrate: interpreter, heap, threads, schedulers, checkpoints."""
+
+from .checkpoint import Checkpoint, restore_checkpoint, take_checkpoint
+from .events import (
+    Failure,
+    StepEffects,
+    StopExecution,
+    global_loc,
+    heap_loc,
+    is_shared_loc,
+    local_loc,
+)
+from .frames import Frame, RegionEntry, ThreadState, ThreadStatus
+from .heap import Heap, HeapArray, HeapStruct
+from .interpreter import Execution, ExecutionStatus, RunResult
+from .scheduler import (
+    DeterministicScheduler,
+    MulticoreScheduler,
+    ScriptedScheduler,
+)
+from .sync import LockTable
+
+__all__ = [
+    "Checkpoint",
+    "restore_checkpoint",
+    "take_checkpoint",
+    "Failure",
+    "StepEffects",
+    "StopExecution",
+    "global_loc",
+    "heap_loc",
+    "is_shared_loc",
+    "local_loc",
+    "Frame",
+    "RegionEntry",
+    "ThreadState",
+    "ThreadStatus",
+    "Heap",
+    "HeapArray",
+    "HeapStruct",
+    "Execution",
+    "ExecutionStatus",
+    "RunResult",
+    "DeterministicScheduler",
+    "MulticoreScheduler",
+    "ScriptedScheduler",
+    "LockTable",
+]

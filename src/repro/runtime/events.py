@@ -1,0 +1,87 @@
+"""Step effects: what one executed instruction read, wrote, and decided.
+
+Effects are the single event stream feeding the trace collector (for
+slicing), the alignment hook, CSV access matching, and the schedule
+search.  Memory locations use structural identities that survive
+checkpoint/restore:
+
+``("global", name)``
+    A program global.
+``("local", thread, frame_uid, var)``
+    A local in a specific activation frame.
+``("heap", obj_id, key)``
+    A struct field (``key`` is the field name) or an array element
+    (``key`` is the integer index).
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def global_loc(name):
+    return ("global", name)
+
+
+def local_loc(thread, frame_uid, var):
+    return ("local", thread, frame_uid, var)
+
+
+def heap_loc(obj_id, key):
+    return ("heap", obj_id, key)
+
+
+def is_shared_loc(location):
+    """Locals are thread-private; globals and heap cells are shared."""
+    return location[0] in ("global", "heap")
+
+
+@dataclass
+class StepEffects:
+    """The observable effects of executing one instruction."""
+
+    thread: str
+    step: int
+    pc: int
+    op: object
+    defs: list = field(default_factory=list)
+    uses: list = field(default_factory=list)
+    branch_outcome: Optional[bool] = None
+    #: step number of the dynamic control-dependence parent (the governing
+    #: branch instance, or the CALL that created this frame), or None for
+    #: thread entry.
+    dynamic_cd_step: Optional[int] = None
+    #: ("acquire"|"release", lock) for sync instructions
+    sync: Optional[tuple] = None
+    #: callee name for CALL, returning-from name for RETURN
+    call: Optional[str] = None
+    ret_from: Optional[str] = None
+    output_value: object = None
+    #: True when this CALL/thread-start pushed a new frame
+    entered_frame: bool = False
+
+
+@dataclass(frozen=True)
+class Failure:
+    """A simulated crash: the analogue of the paper's failing signal."""
+
+    kind: str
+    pc: int
+    thread: str
+    message: str
+
+    def signature(self):
+        """Failure identity used to decide reproduction: kind + PC."""
+        return (self.kind, self.pc)
+
+    def describe(self):
+        return "%s at pc=%d in thread %s: %s" % (
+            self.kind, self.pc, self.thread, self.message)
+
+
+class StopExecution(Exception):
+    """Raised by a hook to stop the run loop (e.g. alignment found)."""
+
+    def __init__(self, reason, payload=None):
+        super().__init__(reason)
+        self.reason = reason
+        self.payload = payload

@@ -1,0 +1,88 @@
+"""Thread and activation-frame state.
+
+Each frame carries, besides locals and the program counter, the *region
+stack* — the frame-local slice of the execution-index stack (paper
+Sec. 3.1): one entry per predicate branch region the current point nests
+in.  Loop iteration counters for ``while`` loops live here too; they are
+the only production-run instrumentation the technique needs (Sec. 3.2).
+"""
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+@dataclass
+class RegionEntry:
+    """One predicate-branch region on a frame's region stack.
+
+    ``exit_pc`` is the immediate post-dominator of the predicate: the
+    point at which this entry is popped (EI rule 4).  ``step`` records
+    the global step number of the branch execution that opened the
+    region; it identifies the *dynamic* branch instance for slicing.
+    """
+
+    pred_pc: int
+    outcome: bool
+    exit_pc: int
+    step: int
+    loop_id: Optional[int] = None
+
+
+@dataclass
+class Frame:
+    """One function activation."""
+
+    uid: int
+    func: str
+    pc: int
+    locals: dict = field(default_factory=dict)
+    #: lvalue in the caller receiving the return value (an AST expr)
+    ret_target: object = None
+    #: pc the caller resumes at (pc after the CALL instruction)
+    return_to: Optional[int] = None
+    #: global step number of the CALL that created this frame (dynamic
+    #: control-dependence parent for statements nesting in the body)
+    call_step: Optional[int] = None
+    region_stack: list = field(default_factory=list)
+    #: live while-loop iteration counters: loop_id -> count
+    loop_counters: dict = field(default_factory=dict)
+
+    def top_region(self):
+        return self.region_stack[-1] if self.region_stack else None
+
+
+class ThreadStatus(Enum):
+    READY = "ready"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class ThreadState:
+    """One program thread: a stack of frames plus bookkeeping."""
+
+    name: str
+    frames: list = field(default_factory=list)
+    status: ThreadStatus = ThreadStatus.READY
+    #: thread-local executed instruction count (the paper's Table 5 reads
+    #: this from hardware counters; we keep it in the dump)
+    instr_count: int = 0
+    #: global step number at which the thread started executing
+    started_at: Optional[int] = None
+
+    @property
+    def current_frame(self):
+        return self.frames[-1] if self.frames else None
+
+    @property
+    def pc(self):
+        frame = self.current_frame
+        return frame.pc if frame is not None else None
+
+    def is_live(self):
+        return self.status is ThreadStatus.READY
+
+    def call_stack_summary(self):
+        """``[(func, pc), ...]`` outermost first — the classic backtrace."""
+        return [(frame.func, frame.pc) for frame in self.frames]

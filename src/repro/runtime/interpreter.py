@@ -1,0 +1,475 @@
+"""The step-based interpreter.
+
+An :class:`Execution` owns the full machine state of one run: globals,
+heap, locks, threads.  A *step* executes exactly one IR instruction of
+one thread; the scheduler decides which thread steps next, so any
+interleaving at instruction granularity is expressible — this is the
+stand-in for true multicore parallelism (DESIGN.md substitution table).
+
+The interpreter maintains, per frame, the *region stack* required by
+execution indexing (entries pushed at predicate branches, popped at the
+predicate's immediate post-dominator — EI rules 3 and 4) and, when
+``instrument_loops`` is set, live ``while``-loop iteration counters (the
+paper's only production-run instrumentation; its cost is what Fig. 10
+measures).
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang import ast
+from ..lang.errors import (
+    DivisionByZero,
+    InterpreterError,
+    LockFault,
+    NullDereference,
+    RuntimeFault,
+    AssertionFault,
+)
+from ..lang.lower import Opcode
+from ..lang.values import NULL, Pointer
+from .events import (
+    Failure,
+    StepEffects,
+    StopExecution,
+    global_loc,
+    heap_loc,
+    local_loc,
+)
+from .frames import Frame, RegionEntry, ThreadState, ThreadStatus
+from .heap import Heap, HeapArray, HeapStruct
+from .sync import LockTable
+
+
+class ExecutionStatus:
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    DEADLOCK = "deadlock"
+    STOPPED = "stopped"
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`Execution.run`."""
+
+    status: str
+    failure: Optional[Failure]
+    steps: int
+    output: list
+    stop_reason: Optional[str] = None
+    stop_payload: object = None
+
+    @property
+    def failed(self):
+        return self.status == ExecutionStatus.FAILED
+
+    @property
+    def completed(self):
+        return self.status == ExecutionStatus.COMPLETED
+
+
+class Execution:
+    """One run of a compiled program under a scheduler.
+
+    Parameters
+    ----------
+    compiled:
+        The :class:`~repro.lang.lower.CompiledProgram`.
+    analysis:
+        The :class:`~repro.analysis.StaticAnalysis` of the same program
+        (region exits are needed to maintain the region stacks).
+    scheduler:
+        An object with ``pick(execution, runnable) -> thread_name`` and an
+        optional ``observe(execution, effects)``.
+    input_overrides:
+        Values for globals listed in ``program.inputs``.
+    instrument_loops:
+        Maintain ``while``-loop iteration counters (production
+        instrumentation, paper Sec. 3.2).
+    hooks:
+        Objects with any of ``on_before_step(execution, thread, instr)``,
+        ``on_after_step(execution, effects)``,
+        ``on_failure(execution, failure)``.  Hooks may raise
+        :class:`StopExecution`.
+    """
+
+    def __init__(self, compiled, analysis, scheduler, input_overrides=None,
+                 instrument_loops=True, hooks=(), max_steps=1_000_000):
+        self.compiled = compiled
+        self.analysis = analysis
+        self.program = compiled.program
+        self.scheduler = scheduler
+        self.instrument_loops = instrument_loops
+        self.hooks = list(hooks)
+        self.max_steps = max_steps
+
+        self.heap = Heap()
+        self.globals = {}
+        self._init_globals(input_overrides or {})
+        self.locks = LockTable(self.program.locks)
+        self.threads = {}
+        self._frame_uid = 0
+        self._init_threads()
+
+        self.step_count = 0
+        self.output = []
+        self.status = ExecutionStatus.RUNNING
+        self.failure = None
+        self.stop_reason = None
+        self.stop_payload = None
+
+    # -- initialization -----------------------------------------------------
+
+    def _init_globals(self, overrides):
+        for name in overrides:
+            if name not in self.program.inputs:
+                raise InterpreterError(
+                    "override of %r which is not a declared input" % name)
+        for name, init in self.program.globals.items():
+            value = overrides.get(name, init)
+            self.globals[name] = self.heap.alloc_from_python(value)
+
+    def _new_frame(self, func_name, local_values, ret_target=None,
+                   return_to=None, call_step=None):
+        fc = self.compiled.func_code(func_name)
+        self._frame_uid += 1
+        return Frame(uid=self._frame_uid, func=func_name, pc=fc.entry_pc,
+                     locals=dict(local_values), ret_target=ret_target,
+                     return_to=return_to, call_step=call_step)
+
+    def _init_threads(self):
+        for spec in self.program.threads:
+            fc = self.compiled.func_code(spec.func)
+            if len(spec.args) != len(fc.params):
+                raise InterpreterError(
+                    "thread %s: %d args for %d params of %s"
+                    % (spec.name, len(spec.args), len(fc.params), spec.func))
+            frame = self._new_frame(spec.func, zip(fc.params, spec.args))
+            self.threads[spec.name] = ThreadState(name=spec.name, frames=[frame])
+
+    # -- expression evaluation ------------------------------------------------
+
+    def _truthy(self, value):
+        if isinstance(value, Pointer):
+            return not value.is_null
+        return bool(value)
+
+    def _eval(self, expr, thread, frame, uses):
+        """Evaluate ``expr``; read locations are appended to ``uses``."""
+        if isinstance(expr, ast.Const):
+            return expr.value
+        if isinstance(expr, ast.Null):
+            return NULL
+        if isinstance(expr, ast.Var):
+            name = expr.name
+            if name in frame.locals:
+                uses.append(local_loc(thread.name, frame.uid, name))
+                return frame.locals[name]
+            if name in self.globals:
+                uses.append(global_loc(name))
+                return self.globals[name]
+            raise InterpreterError(
+                "undefined variable %r in %s" % (name, frame.func))
+        if isinstance(expr, ast.Bin):
+            left = self._eval(expr.left, thread, frame, uses)
+            right = self._eval(expr.right, thread, frame, uses)
+            return self._apply_bin(expr.op, left, right)
+        if isinstance(expr, ast.Un):
+            operand = self._eval(expr.operand, thread, frame, uses)
+            if expr.op == "not":
+                return not self._truthy(operand)
+            if expr.op == "-":
+                return -operand
+            raise InterpreterError("unknown unary op %r" % expr.op)
+        if isinstance(expr, ast.Field):
+            base = self._eval(expr.base, thread, frame, uses)
+            obj = self.heap.deref(base, thread=thread.name)
+            if not isinstance(obj, HeapStruct):
+                raise InterpreterError("field access on non-struct %r" % (obj,))
+            uses.append(heap_loc(base.obj_id, expr.name))
+            return obj.get(expr.name)
+        if isinstance(expr, ast.Index):
+            base = self._eval(expr.base, thread, frame, uses)
+            idx = self._eval(expr.index, thread, frame, uses)
+            obj = self.heap.deref(base, thread=thread.name)
+            if not isinstance(obj, HeapArray):
+                raise InterpreterError("index access on non-array %r" % (obj,))
+            value = obj.get(idx, thread=thread.name)
+            uses.append(heap_loc(base.obj_id, idx))
+            return value
+        if isinstance(expr, ast.AllocStruct):
+            fields = {}
+            for name, sub in expr.fields:
+                fields[name] = self._eval(sub, thread, frame, uses)
+            return self.heap.alloc_struct(fields)
+        if isinstance(expr, ast.AllocArray):
+            if expr.elements is not None:
+                elements = [self._eval(e, thread, frame, uses)
+                            for e in expr.elements]
+            else:
+                size = self._eval(expr.size, thread, frame, uses)
+                fill = self._eval(expr.fill, thread, frame, uses)
+                if not isinstance(size, int) or size < 0:
+                    raise InterpreterError("bad array size %r" % (size,))
+                elements = [fill] * size
+            return self.heap.alloc_array(elements)
+        raise InterpreterError("cannot evaluate %r" % (expr,))
+
+    def _apply_bin(self, op, left, right):
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise DivisionByZero("division by zero")
+            return left // right if isinstance(left, int) else left / right
+        if op == "%":
+            if right == 0:
+                raise DivisionByZero("modulo by zero")
+            return left % right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "and":
+            return self._truthy(left) and self._truthy(right)
+        if op == "or":
+            return self._truthy(left) or self._truthy(right)
+        raise InterpreterError("unknown binary op %r" % op)
+
+    def _assign_into(self, target, value, thread, frame, uses, defs):
+        """Store ``value`` at lvalue ``target`` within ``frame``."""
+        if isinstance(target, ast.Var):
+            name = target.name
+            if name in frame.locals:
+                frame.locals[name] = value
+                defs.append(local_loc(thread.name, frame.uid, name))
+            elif name in self.globals:
+                self.globals[name] = value
+                defs.append(global_loc(name))
+            else:
+                frame.locals[name] = value
+                defs.append(local_loc(thread.name, frame.uid, name))
+            return
+        if isinstance(target, ast.Field):
+            base = self._eval(target.base, thread, frame, uses)
+            obj = self.heap.deref(base, thread=thread.name)
+            if not isinstance(obj, HeapStruct):
+                raise InterpreterError("field store on non-struct %r" % (obj,))
+            obj.set(target.name, value)
+            defs.append(heap_loc(base.obj_id, target.name))
+            return
+        if isinstance(target, ast.Index):
+            base = self._eval(target.base, thread, frame, uses)
+            idx = self._eval(target.index, thread, frame, uses)
+            obj = self.heap.deref(base, thread=thread.name)
+            if not isinstance(obj, HeapArray):
+                raise InterpreterError("index store on non-array %r" % (obj,))
+            obj.set(idx, value, thread=thread.name)
+            defs.append(heap_loc(base.obj_id, idx))
+            return
+        raise InterpreterError("bad assignment target %r" % (target,))
+
+    # -- region stack maintenance (EI rules 3 & 4) -----------------------------
+
+    def _pop_regions(self, frame, pc):
+        """EI rule 4: pop regions whose immediate post-dominator is ``pc``."""
+        popped_loops = set()
+        stack = frame.region_stack
+        while stack and stack[-1].exit_pc == pc:
+            entry = stack.pop()
+            if entry.loop_id is not None:
+                popped_loops.add(entry.loop_id)
+        if popped_loops:
+            live = {entry.loop_id for entry in stack if entry.loop_id is not None}
+            for loop_id in popped_loops - live:
+                frame.loop_counters.pop(loop_id, None)
+
+    # -- scheduling predicates ---------------------------------------------
+
+    def thread_runnable(self, thread):
+        """READY and not blocked on a lock held by another thread."""
+        if thread.status is not ThreadStatus.READY:
+            return False
+        instr = self.compiled.instr(thread.pc)
+        if instr.op is Opcode.ACQUIRE:
+            owner = self.locks.owner(instr.lock)
+            if owner is not None and owner != thread.name:
+                return False
+        return True
+
+    def runnable_threads(self):
+        """Names of runnable threads, in canonical program order."""
+        return [spec.name for spec in self.program.threads
+                if self.thread_runnable(self.threads[spec.name])]
+
+    def live_threads(self):
+        return [t.name for t in self.threads.values() if t.is_live()]
+
+    # -- the step ------------------------------------------------------------
+
+    def step(self, thread_name):
+        """Execute one instruction of ``thread_name``; returns effects.
+
+        On a simulated crash the execution transitions to FAILED and the
+        failure is recorded; the partially filled effects are returned.
+        """
+        thread = self.threads[thread_name]
+        if thread.status is not ThreadStatus.READY:
+            raise InterpreterError("stepping non-ready thread %s" % thread_name)
+        frame = thread.current_frame
+        pc = frame.pc
+        self._pop_regions(frame, pc)
+        instr = self.compiled.instr(pc)
+        effects = StepEffects(thread=thread_name, step=self.step_count,
+                              pc=pc, op=instr.op)
+        if thread.started_at is None:
+            thread.started_at = self.step_count
+        top = frame.top_region()
+        effects.dynamic_cd_step = top.step if top is not None else frame.call_step
+        try:
+            self._execute(instr, thread, frame, effects)
+        except RuntimeFault as fault:
+            self.failure = Failure(kind=fault.kind, pc=pc, thread=thread_name,
+                                   message=fault.message)
+            self.status = ExecutionStatus.FAILED
+            thread.status = ThreadStatus.FAILED
+        self.step_count += 1
+        thread.instr_count += 1
+        return effects
+
+    def _execute(self, instr, thread, frame, effects):
+        op = instr.op
+        if op is Opcode.ASSIGN:
+            value = self._eval(instr.expr, thread, frame, effects.uses)
+            self._assign_into(instr.target, value, thread, frame,
+                              effects.uses, effects.defs)
+            frame.pc += 1
+        elif op is Opcode.BRANCH:
+            value = self._eval(instr.cond, thread, frame, effects.uses)
+            outcome = self._truthy(value)
+            effects.branch_outcome = outcome
+            exit_pc = self.analysis.region_exit(instr.pc)
+            frame.region_stack.append(RegionEntry(
+                pred_pc=instr.pc, outcome=outcome, exit_pc=exit_pc,
+                step=self.step_count,
+                loop_id=instr.loop_id if instr.is_loop else None))
+            if instr.is_loop and outcome and instr.counter_var is None \
+                    and self.instrument_loops:
+                counters = frame.loop_counters
+                counters[instr.loop_id] = counters.get(instr.loop_id, 0) + 1
+            frame.pc = instr.t_target if outcome else instr.f_target
+        elif op is Opcode.JUMP:
+            frame.pc = instr.jump_target
+        elif op is Opcode.NOP:
+            frame.pc += 1
+        elif op is Opcode.CALL:
+            args = [self._eval(a, thread, frame, effects.uses)
+                    for a in instr.args]
+            fc = self.compiled.func_code(instr.callee)
+            if len(args) != len(fc.params):
+                raise InterpreterError(
+                    "call %s: %d args for %d params"
+                    % (instr.callee, len(args), len(fc.params)))
+            new_frame = self._new_frame(
+                instr.callee, zip(fc.params, args), ret_target=instr.target,
+                return_to=instr.pc + 1, call_step=self.step_count)
+            thread.frames.append(new_frame)
+            effects.call = instr.callee
+            effects.entered_frame = True
+        elif op is Opcode.RETURN:
+            value = None
+            if instr.expr is not None:
+                value = self._eval(instr.expr, thread, frame, effects.uses)
+            popped = thread.frames.pop()
+            effects.ret_from = popped.func
+            if thread.frames:
+                caller = thread.current_frame
+                caller.pc = popped.return_to
+                if popped.ret_target is not None:
+                    self._assign_into(popped.ret_target, value, thread, caller,
+                                      effects.uses, effects.defs)
+            else:
+                thread.status = ThreadStatus.DONE
+        elif op is Opcode.ACQUIRE:
+            self.locks.acquire(instr.lock, thread.name, pc=instr.pc)
+            effects.sync = ("acquire", instr.lock)
+            frame.pc += 1
+        elif op is Opcode.RELEASE:
+            self.locks.release(instr.lock, thread.name, pc=instr.pc)
+            effects.sync = ("release", instr.lock)
+            frame.pc += 1
+        elif op is Opcode.ASSERT:
+            value = self._eval(instr.cond, thread, frame, effects.uses)
+            if not self._truthy(value):
+                raise AssertionFault(instr.message, pc=instr.pc,
+                                     thread=thread.name)
+            frame.pc += 1
+        elif op is Opcode.OUTPUT:
+            value = self._eval(instr.expr, thread, frame, effects.uses)
+            self.output.append((thread.name, value))
+            effects.output_value = value
+            frame.pc += 1
+        else:
+            raise InterpreterError("unknown opcode %r" % (op,))
+
+    # -- the run loop ----------------------------------------------------------
+
+    def run(self):
+        """Drive the execution to completion, failure, deadlock, or stop."""
+        try:
+            while self.status == ExecutionStatus.RUNNING:
+                runnable = self.runnable_threads()
+                if not runnable:
+                    if self.live_threads():
+                        self.status = ExecutionStatus.DEADLOCK
+                    else:
+                        self.status = ExecutionStatus.COMPLETED
+                    break
+                name = self.scheduler.pick(self, runnable)
+                if name not in runnable:
+                    raise InterpreterError(
+                        "scheduler picked non-runnable thread %r" % (name,))
+                for hook in self.hooks:
+                    before = getattr(hook, "on_before_step", None)
+                    if before is not None:
+                        before(self, name, self.compiled.instr(
+                            self.threads[name].pc))
+                effects = self.step(name)
+                observe = getattr(self.scheduler, "observe", None)
+                if observe is not None:
+                    observe(self, effects)
+                if self.failure is not None:
+                    for hook in self.hooks:
+                        on_failure = getattr(hook, "on_failure", None)
+                        if on_failure is not None:
+                            on_failure(self, self.failure)
+                    break
+                for hook in self.hooks:
+                    after = getattr(hook, "on_after_step", None)
+                    if after is not None:
+                        after(self, effects)
+                if self.step_count >= self.max_steps:
+                    self.status = ExecutionStatus.STOPPED
+                    self.stop_reason = "max-steps"
+                    break
+        except StopExecution as stop:
+            self.status = ExecutionStatus.STOPPED
+            self.stop_reason = stop.reason
+            self.stop_payload = stop.payload
+        return RunResult(status=self.status, failure=self.failure,
+                         steps=self.step_count, output=list(self.output),
+                         stop_reason=self.stop_reason,
+                         stop_payload=self.stop_payload)

@@ -1,0 +1,96 @@
+"""Schedulers.
+
+Three schedulers drive the reproduction pipeline:
+
+* :class:`MulticoreScheduler` — seeded random interleaving at instruction
+  granularity with bursty thread affinity; the stand-in for true
+  multicore parallelism in the production (failing) run.
+* :class:`DeterministicScheduler` — the single-core deterministic
+  scheduler of the debugging phase: non-preemptive, runs the current
+  thread until it blocks or exits, picks the next thread in canonical
+  program order.
+* :class:`ScriptedScheduler` — replays an explicit thread sequence
+  (testing aid).
+
+The search layer builds its preempting scheduler on top of the
+deterministic one (see :mod:`repro.search.preemption`).
+"""
+
+import random
+
+from ..lang.errors import SchedulerError
+
+
+class DeterministicScheduler:
+    """Canonical-order, non-preemptive scheduling (the passing run)."""
+
+    def __init__(self):
+        self.current = None
+
+    def pick(self, execution, runnable):
+        if self.current in runnable:
+            return self.current
+        return runnable[0]
+
+    def observe(self, execution, effects):
+        self.current = effects.thread
+
+    def snapshot(self):
+        return self.current
+
+    def restore(self, state):
+        self.current = state
+
+
+class MulticoreScheduler:
+    """Seeded random interleaving with bursty affinity.
+
+    Each pick keeps the current thread with probability ``1 -
+    switch_prob`` (when still runnable), otherwise switches uniformly at
+    random.  Bursts make the interleavings resemble two cores trading the
+    shared bus rather than a uniform shuffle, while staying fully
+    deterministic for a given seed.
+    """
+
+    def __init__(self, seed=0, switch_prob=0.3):
+        if not 0.0 < switch_prob <= 1.0:
+            raise SchedulerError("switch_prob must be in (0, 1]")
+        self.seed = seed
+        self.switch_prob = switch_prob
+        self._rng = random.Random(seed)
+        self.current = None
+
+    def pick(self, execution, runnable):
+        if (self.current in runnable
+                and self._rng.random() >= self.switch_prob):
+            return self.current
+        return runnable[self._rng.randrange(len(runnable))]
+
+    def observe(self, execution, effects):
+        self.current = effects.thread
+
+
+class ScriptedScheduler:
+    """Replays an explicit sequence of thread names (for tests).
+
+    Falls back to the first runnable thread when the script is exhausted
+    or names a non-runnable thread; set ``strict=True`` to raise instead.
+    """
+
+    def __init__(self, script, strict=False):
+        self.script = list(script)
+        self.position = 0
+        self.strict = strict
+
+    def pick(self, execution, runnable):
+        while self.position < len(self.script):
+            name = self.script[self.position]
+            if name in runnable:
+                self.position += 1
+                return name
+            if self.strict:
+                raise SchedulerError(
+                    "scripted thread %r not runnable (runnable=%r)"
+                    % (name, runnable))
+            self.position += 1
+        return runnable[0]

@@ -1,0 +1,47 @@
+"""Locks.
+
+The language exposes non-reentrant mutexes declared at program level,
+matching the pthread mutexes guarding the paper's subjects.  A thread
+whose next instruction is an ``acquire`` of a lock held by another thread
+is simply *not runnable*; it never burns a step spinning.
+"""
+
+from ..lang.errors import LockFault
+
+
+class LockTable:
+    """Ownership state for every declared lock."""
+
+    def __init__(self, lock_names):
+        self._owner = {name: None for name in lock_names}
+
+    def owner(self, lock):
+        return self._owner[lock]
+
+    def is_free_for(self, lock, thread):
+        return self._owner[lock] is None
+
+    def acquire(self, lock, thread, pc=None):
+        owner = self._owner[lock]
+        if owner == thread:
+            raise LockFault("thread %s re-acquired lock %s" % (thread, lock),
+                            pc=pc, thread=thread)
+        if owner is not None:
+            raise LockFault(
+                "acquire of %s by %s while held by %s (scheduler bug)"
+                % (lock, thread, owner), pc=pc, thread=thread)
+        self._owner[lock] = thread
+
+    def release(self, lock, thread, pc=None):
+        owner = self._owner[lock]
+        if owner != thread:
+            raise LockFault(
+                "release of %s by %s but owner is %s" % (lock, thread, owner),
+                pc=pc, thread=thread)
+        self._owner[lock] = None
+
+    def held_locks(self, thread):
+        return sorted(l for l, o in self._owner.items() if o == thread)
+
+    def snapshot(self):
+        return dict(self._owner)

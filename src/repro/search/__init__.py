@@ -1,0 +1,30 @@
+"""Schedule search: CHESS baseline, Algorithm 2, baseline aligners."""
+
+from .base import ScheduleSearchBase, SearchOutcome
+from .chess import ChessSearch
+from .chessx import ChessXSearch, FutureCSVIndex
+from .instcount import ContextPCAligner, InstructionCountAligner
+from .preemption import (
+    BOTTOM_WEIGHT,
+    PlannedPreemption,
+    PreemptingScheduler,
+    PreemptionCandidate,
+    enumerate_candidates,
+    future_csvs_at,
+)
+
+__all__ = [
+    "ScheduleSearchBase",
+    "SearchOutcome",
+    "ChessSearch",
+    "ChessXSearch",
+    "FutureCSVIndex",
+    "ContextPCAligner",
+    "InstructionCountAligner",
+    "BOTTOM_WEIGHT",
+    "PlannedPreemption",
+    "PreemptingScheduler",
+    "PreemptionCandidate",
+    "enumerate_candidates",
+    "future_csvs_at",
+]

@@ -1,0 +1,138 @@
+"""Shared machinery for schedule search algorithms."""
+
+import time
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Optional
+
+from ..runtime.interpreter import ExecutionStatus
+from .preemption import PlannedPreemption, PreemptingScheduler
+
+
+@dataclass
+class SearchOutcome:
+    """Result of one schedule search (a Table 4 / Table 5 cell pair)."""
+
+    algorithm: str
+    reproduced: bool
+    tries: int
+    total_steps: int
+    wall_seconds: float
+    plan: Optional[list] = None
+    cutoff: bool = False
+    failure: object = None
+    #: tries broken down by preemption-combination size
+    tries_by_size: dict = field(default_factory=dict)
+
+    def describe(self):
+        state = "reproduced" if self.reproduced else (
+            "CUTOFF" if self.cutoff else "exhausted")
+        return "%s: %s after %d tries (%d steps, %.2fs)" % (
+            self.algorithm, state, self.tries, self.total_steps,
+            self.wall_seconds)
+
+
+class ScheduleSearchBase:
+    """Common testrun driver: executes planned-preemption schedules.
+
+    Parameters
+    ----------
+    execution_factory:
+        ``callable(scheduler) -> Execution`` building a fresh run of the
+        subject program (same input as the failing run).
+    candidates:
+        Passing-run preemption candidates.
+    target_signature:
+        ``Failure.signature()`` of the failure being reproduced.
+    thread_names:
+        All program threads, canonical order.
+    preemption_bound:
+        The CHESS bound ``k`` (2 in the paper's experiments).
+    max_tries / max_seconds:
+        Search budget; exceeding either marks the outcome as cutoff (the
+        paper cut plain CHESS off at 18 hours).
+    """
+
+    algorithm = "base"
+
+    def __init__(self, execution_factory, candidates, target_signature,
+                 thread_names, preemption_bound=2, max_tries=5000,
+                 max_seconds=300.0):
+        self.execution_factory = execution_factory
+        self.candidates = list(candidates)
+        self.target_signature = target_signature
+        self.thread_names = list(thread_names)
+        self.preemption_bound = preemption_bound
+        self.max_tries = max_tries
+        self.max_seconds = max_seconds
+        self.tries = 0
+        self.total_steps = 0
+        self.tries_by_size = {}
+
+    # -- single testrun ---------------------------------------------------------
+
+    def testrun(self, plan):
+        """Execute one schedule; returns (reproduced, RunResult)."""
+        scheduler = PreemptingScheduler(plan)
+        execution = self.execution_factory(scheduler)
+        result = execution.run()
+        self.tries += 1
+        self.total_steps += result.steps
+        size = len(plan)
+        self.tries_by_size[size] = self.tries_by_size.get(size, 0) + 1
+        reproduced = (result.status == ExecutionStatus.FAILED
+                      and result.failure.signature() == self.target_signature)
+        return reproduced, result
+
+    # -- search loop -------------------------------------------------------------
+
+    def plans(self):
+        """Yield plans (lists of :class:`PlannedPreemption`) in search order."""
+        raise NotImplementedError
+
+    def search(self):
+        start = time.perf_counter()
+        outcome = None
+        for plan in self.plans():
+            if self.tries >= self.max_tries \
+                    or time.perf_counter() - start > self.max_seconds:
+                outcome = SearchOutcome(
+                    algorithm=self.algorithm, reproduced=False,
+                    tries=self.tries, total_steps=self.total_steps,
+                    wall_seconds=time.perf_counter() - start, cutoff=True,
+                    tries_by_size=dict(self.tries_by_size))
+                break
+            reproduced, result = self.testrun(plan)
+            if reproduced:
+                outcome = SearchOutcome(
+                    algorithm=self.algorithm, reproduced=True,
+                    tries=self.tries, total_steps=self.total_steps,
+                    wall_seconds=time.perf_counter() - start, plan=plan,
+                    failure=result.failure,
+                    tries_by_size=dict(self.tries_by_size))
+                break
+        if outcome is None:
+            outcome = SearchOutcome(
+                algorithm=self.algorithm, reproduced=False, tries=self.tries,
+                total_steps=self.total_steps,
+                wall_seconds=time.perf_counter() - start,
+                tries_by_size=dict(self.tries_by_size))
+        return outcome
+
+    # -- helpers -----------------------------------------------------------------
+
+    def selection_product(self, combo, selector):
+        """All switch-target vectors for a preemption combination.
+
+        ``selector(candidate)`` returns the candidate threads to switch
+        to; an empty selection contributes ``[None]`` (the preemption
+        point is identified but no useful switch exists — the testrun
+        degenerates towards the passing schedule there).
+        """
+        choices = []
+        for candidate in combo:
+            targets = selector(candidate) or [None]
+            choices.append(list(targets))
+        for vector in product(*choices):
+            yield [PlannedPreemption.from_candidate(c, t)
+                   for c, t in zip(combo, vector)]

@@ -1,0 +1,30 @@
+"""The original CHESS algorithm (baseline).
+
+Iterative preemption bounding (Musuvathi & Qadeer, PLDI'07) adapted for
+reproduction: enumerate every combination of at most ``k`` preemption
+points in passing-run order — linear search over single preemptions
+first, then pairs — and for each point try every other thread as the
+switch target.  No failure information guides the order; this is the
+``chess`` column of Table 4, which the paper cut off at 18 hours on most
+bugs.
+"""
+
+from itertools import combinations
+
+from .base import ScheduleSearchBase
+
+
+class ChessSearch(ScheduleSearchBase):
+    """Unguided systematic search over preemption combinations."""
+
+    algorithm = "chess"
+
+    def _all_other_threads(self, candidate):
+        return [t for t in self.thread_names if t != candidate.thread]
+
+    def plans(self):
+        for size in range(1, self.preemption_bound + 1):
+            for combo in combinations(self.candidates, size):
+                for plan in self.selection_product(
+                        combo, self._all_other_threads):
+                    yield plan

@@ -1,0 +1,111 @@
+"""Algorithm 2: the enhanced, CSV-guided CHESS search.
+
+Differences from plain CHESS (paper Sec. 5):
+
+1. **Weighted worklist.**  Every combination of at most ``k`` preemption
+   candidates is weighted by the sum, over its members, of the minimal
+   priority superscript among the member's block CSV accesses (``⊥`` for
+   blocks without accesses).  Combinations are tested in ascending
+   weight — the most failure-relevant perturbations first.
+2. **Guided thread selection.**  When a preemption fires, only threads
+   whose *future CSV set* overlaps the CSVs accessed in the preempted
+   schedule block are worth switching to (``preempt()`` in Algorithm 2);
+   the selection sets come from the passing run's annotations.
+
+The access priorities are produced by either the temporal-distance or
+the dependence-distance heuristic (``chessX+temporal`` /
+``chessX+dep`` in Table 4).
+"""
+
+from bisect import bisect_left
+from itertools import combinations
+
+from .base import ScheduleSearchBase
+from .preemption import BOTTOM_WEIGHT
+
+
+class FutureCSVIndex:
+    """``future(thread, step)``: CSVs a thread accesses at/after a step.
+
+    Precomputed from the passing-run trace as per-thread suffix unions
+    over CSV access events, so each query is a bisect.
+    """
+
+    def __init__(self, ranked_accesses):
+        self._per_thread = {}
+        by_thread = {}
+        for access in ranked_accesses:
+            by_thread.setdefault(access.thread, []).append(access)
+        for thread, accesses in by_thread.items():
+            accesses.sort(key=lambda a: a.step)
+            steps = [a.step for a in accesses]
+            suffixes = [None] * len(accesses)
+            seen = set()
+            for i in range(len(accesses) - 1, -1, -1):
+                seen = seen | {accesses[i].location}
+                suffixes[i] = frozenset(seen)
+            self._per_thread[thread] = (steps, suffixes)
+
+    def future(self, thread, step):
+        entry = self._per_thread.get(thread)
+        if entry is None:
+            return frozenset()
+        steps, suffixes = entry
+        i = bisect_left(steps, step)
+        if i >= len(steps):
+            return frozenset()
+        return suffixes[i]
+
+
+class ChessXSearch(ScheduleSearchBase):
+    """The paper's enhanced search (Algorithm 2)."""
+
+    def __init__(self, execution_factory, candidates, target_signature,
+                 thread_names, ranked_accesses, heuristic_name="dep",
+                 all_accesses=None, preemption_bound=2, max_tries=5000,
+                 max_seconds=300.0):
+        super().__init__(execution_factory, candidates, target_signature,
+                         thread_names, preemption_bound=preemption_bound,
+                         max_tries=max_tries, max_seconds=max_seconds)
+        self.algorithm = "chessX+%s" % heuristic_name
+        # Thread selection needs the whole trace's accesses (including
+        # those after the aligned point); only priorities are limited to
+        # the prefix.
+        self.future_index = FutureCSVIndex(
+            ranked_accesses if all_accesses is None else all_accesses)
+
+    # -- Algorithm 2 lines 1-7: the weighted worklist -------------------------
+
+    def weighted_worklist(self):
+        """All ≤k-subsets with weights, ascending (Algorithm 2 line 7)."""
+        worklist = []
+        for size in range(1, self.preemption_bound + 1):
+            for combo in combinations(self.candidates, size):
+                weight = sum(c.weight_component() for c in combo)
+                worklist.append((weight, tuple(c.cid for c in combo), combo))
+        worklist.sort(key=lambda item: (item[0], item[1]))
+        return worklist
+
+    # -- Algorithm 2 preempt(): guided thread selection -------------------------
+
+    def selection_for(self, candidate):
+        """Threads whose future CSVs overlap the preempted block's CSVs."""
+        if not candidate.block_csv_locs:
+            return []
+        selected = []
+        for thread in self.thread_names:
+            if thread == candidate.thread:
+                continue
+            # "The CSV set of the current synchronization point of T":
+            # under the replay-prefix property, T's progress when the
+            # preemption fires equals its passing-run progress at the
+            # candidate's step.
+            future = self.future_index.future(thread, candidate.step)
+            if future & candidate.block_csv_locs:
+                selected.append(thread)
+        return selected
+
+    def plans(self):
+        for _weight, _cids, combo in self.weighted_worklist():
+            for plan in self.selection_product(combo, self.selection_for):
+                yield plan

@@ -1,0 +1,115 @@
+"""Baseline aligned-point locators (paper Table 5 and Sec. 3 motivation).
+
+* :class:`InstructionCountAligner` — the paper's Table 5 baseline: read
+  the failing thread's instruction count from the dump (hardware
+  counters), execute the same number of thread-local instructions in the
+  passing run, then take the *next* execution of the failure PC as the
+  aligned point.
+* :class:`ContextPCAligner` — the Sec. 3 strawman: the first execution
+  of the failure PC under the same calling context.  Multiple dynamic
+  points alias to one (context, PC) signature, so this picks the wrong
+  instance whenever the crash is not the first.
+
+Both produce :class:`~repro.indexing.align.AlignmentResult` payloads and
+follow the same signal protocol as the EI-based hook (``on_aligned``
+callback at the point, run continues), so the downstream pipeline —
+dump comparison, CSV ranking, search — is reused unchanged.
+"""
+
+from ..indexing.align import (
+    AlignmentResult,
+    AlignmentStatus,
+    collect_static_uses,
+)
+from ..runtime.events import StopExecution
+
+
+class _BaseAligner:
+    """Shared signal protocol of the baseline aligners."""
+
+    def __init__(self, on_aligned=None, stop=False):
+        self.on_aligned = on_aligned
+        self.stop = stop
+        self.result = None
+
+    def _signal(self, execution, result):
+        self.result = result
+        if self.on_aligned is not None:
+            self.on_aligned(execution, result)
+        if self.stop:
+            raise StopExecution("alignment", result)
+
+    def _exact_here(self, execution, thread, instr):
+        criterion = collect_static_uses(execution, thread, instr)
+        self._signal(execution, AlignmentResult(
+            status=AlignmentStatus.EXACT, thread=thread.name, pc=instr.pc,
+            step=execution.step_count, diverged_at=None, outcome=None,
+            criterion_locs=criterion, criterion_step=execution.step_count,
+            consumed=0, remaining=0))
+
+    def _closest_at_exit(self, execution, effects):
+        self._signal(execution, AlignmentResult(
+            status=AlignmentStatus.CLOSEST, thread=effects.thread,
+            pc=effects.pc, step=execution.step_count,
+            diverged_at=None, outcome=None,
+            criterion_locs=tuple(effects.uses),
+            criterion_step=effects.step, consumed=0, remaining=0))
+
+
+class InstructionCountAligner(_BaseAligner):
+    """Aligns at the instruction-count point (Table 5's design)."""
+
+    def __init__(self, failure_dump, on_aligned=None, stop=False):
+        super().__init__(on_aligned=on_aligned, stop=stop)
+        self.target = failure_dump.failing_thread
+        self.target_count = failure_dump.thread_dump(self.target).instr_count
+        self.failure_pc = failure_dump.failure_pc
+        self.armed = False
+
+    def on_before_step(self, execution, thread_name, instr):
+        if thread_name != self.target or self.result is not None:
+            return
+        thread = execution.threads[thread_name]
+        if not self.armed:
+            if thread.instr_count >= self.target_count:
+                self.armed = True
+            else:
+                return
+        if instr.pc == self.failure_pc:
+            self._exact_here(execution, thread, instr)
+
+    def on_after_step(self, execution, effects):
+        if effects.thread != self.target or self.result is not None:
+            return
+        if not execution.threads[self.target].is_live():
+            # The thread exited without re-executing the failure PC after
+            # the count was reached; align at its exit.
+            self._closest_at_exit(execution, effects)
+
+
+class ContextPCAligner(_BaseAligner):
+    """Aligns at the first (calling context, PC) match — the strawman."""
+
+    def __init__(self, failure_dump, on_aligned=None, stop=False):
+        super().__init__(on_aligned=on_aligned, stop=stop)
+        self.target = failure_dump.failing_thread
+        self.failure_pc = failure_dump.failure_pc
+        thread = failure_dump.thread_dump(self.target)
+        self.context = tuple(f.func for f in thread.frames)
+
+    def on_before_step(self, execution, thread_name, instr):
+        if thread_name != self.target or self.result is not None:
+            return
+        if instr.pc != self.failure_pc:
+            return
+        thread = execution.threads[thread_name]
+        context = tuple(f.func for f in thread.frames)
+        if context != self.context:
+            return
+        self._exact_here(execution, thread, instr)
+
+    def on_after_step(self, execution, effects):
+        if effects.thread != self.target or self.result is not None:
+            return
+        if not execution.threads[self.target].is_live():
+            self._closest_at_exit(execution, effects)

@@ -1,0 +1,241 @@
+"""Preemption candidates, schedule blocks, and the preempting scheduler.
+
+Preemption candidates are the points CHESS may inject a context switch:
+the beginning of each thread, *before* every lock acquire (so a thread
+needing the lock can run first), and *after* every lock release (paper
+Sec. 5, Fig. 8).  They are enumerated from the passing run's trace and
+identified across re-executions by ``(thread, kind, lock, occurrence)``
+— stable because every testrun replays the deterministic schedule up to
+its first preemption.
+
+Each candidate is annotated with (paper Sec. 5):
+
+* the prioritized CSV accesses inside the *schedule block* it leads
+  (used to weight preemption combinations), and
+* the set of CSVs its thread will access *from this point on* (used to
+  select which thread to switch to: switching to ``T`` is useful only if
+  ``T``'s future CSV set overlaps the preempted block's accesses).
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lang.lower import Opcode
+
+#: Weight contribution of a candidate whose block has no prioritized CSV
+#: access (the paper's ⊥): effectively last in the worklist.
+BOTTOM_WEIGHT = 10 ** 6
+
+
+@dataclass(frozen=True)
+class PreemptionCandidate:
+    """One potential preemption point observed in the passing run."""
+
+    cid: int
+    thread: str
+    kind: str  # "start" | "acquire" | "release"
+    lock: Optional[str]
+    occurrence: int
+    pc: int
+    step: int
+    #: prioritized CSV accesses inside this candidate's schedule block
+    accesses: tuple = ()
+    #: CSV locations touched inside the block (unordered)
+    block_csv_locs: frozenset = frozenset()
+    #: CSVs this thread accesses at or after this point
+    future_csvs: frozenset = frozenset()
+
+    def key(self):
+        return (self.thread, self.kind, self.lock, self.occurrence)
+
+    def weight_component(self):
+        """The minimal priority superscript among the block's accesses."""
+        priorities = [a.priority for a in self.accesses
+                      if a.priority is not None]
+        return min(priorities) if priorities else BOTTOM_WEIGHT
+
+    def describe(self):
+        return "pm%d[%s %s%s #%d @pc=%d step=%d, %d accesses, w=%s]" % (
+            self.cid, self.thread, self.kind,
+            "(%s)" % self.lock if self.lock else "", self.occurrence,
+            self.pc, self.step, len(self.accesses),
+            self.weight_component())
+
+
+def enumerate_candidates(events, csv_locs, ranked_accesses,
+                         all_accesses=None):
+    """Candidates from a passing-run trace, with annotations.
+
+    ``ranked_accesses`` are the *prioritized* accesses (at or before the
+    aligned point — the only ones the paper prioritizes); they feed the
+    block annotations.  ``all_accesses`` covers the full trace and feeds
+    the future-CSV sets: a thread's CSV set must include accesses that
+    happen *after* the aligned point (T2's ``x=0`` in the paper's
+    example occurs after it, yet is what makes switching to T2 useful).
+    """
+    access_by_step = {}
+    for access in ranked_accesses:
+        access_by_step.setdefault(access.step, []).append(access)
+    if all_accesses is None:
+        all_accesses = ranked_accesses
+
+    raw = []
+    counters = {}
+    seen_threads = set()
+    for event in events:
+        if event.thread not in seen_threads:
+            seen_threads.add(event.thread)
+            raw.append(("start", None, 0, event))
+        if event.sync is not None:
+            kind, lock = event.sync
+            key = (event.thread, kind, lock)
+            occurrence = counters.get(key, 0)
+            counters[key] = occurrence + 1
+            raw.append((kind, lock, occurrence, event))
+
+    raw.sort(key=lambda item: (item[3].step, 0 if item[0] != "release" else 1))
+    boundaries = [item[3].step for item in raw]
+
+    candidates = []
+    for i, (kind, lock, occurrence, event) in enumerate(raw):
+        block_start = event.step if kind != "release" else event.step + 1
+        block_end = boundaries[i + 1] if i + 1 < len(boundaries) else None
+        block_accesses = []
+        for access_list in access_by_step.values():
+            for access in access_list:
+                if access.thread != event.thread:
+                    continue
+                if access.step < block_start:
+                    continue
+                if block_end is not None and access.step >= block_end:
+                    continue
+                block_accesses.append(access)
+        block_accesses.sort(key=lambda a: a.step)
+        future = frozenset(
+            access.location for access in all_accesses
+            if access.thread == event.thread and access.step >= event.step)
+        candidates.append(PreemptionCandidate(
+            cid=i,
+            thread=event.thread,
+            kind=kind,
+            lock=lock,
+            occurrence=occurrence,
+            pc=event.pc,
+            step=event.step,
+            accesses=tuple(block_accesses),
+            block_csv_locs=frozenset(a.location for a in block_accesses),
+            future_csvs=future,
+        ))
+    return candidates
+
+
+def future_csvs_at(events, csv_locs, thread, step):
+    """CSV locations ``thread`` accesses at or after ``step`` (passing run)."""
+    future = set()
+    for event in events:
+        if event.thread != thread or event.step < step:
+            continue
+        for loc in event.uses:
+            if loc in csv_locs:
+                future.add(loc)
+        for loc in event.defs:
+            if loc in csv_locs:
+                future.add(loc)
+    return frozenset(future)
+
+
+@dataclass
+class PlannedPreemption:
+    """One preemption to apply in a testrun: fire point + thread to run."""
+
+    thread: str
+    kind: str
+    lock: Optional[str]
+    occurrence: int
+    switch_to: Optional[str]  # None = identified point but no switch
+
+    @classmethod
+    def from_candidate(cls, candidate, switch_to):
+        return cls(thread=candidate.thread, kind=candidate.kind,
+                   lock=candidate.lock, occurrence=candidate.occurrence,
+                   switch_to=switch_to)
+
+
+class PreemptingScheduler:
+    """Deterministic scheduler with planned preemptions.
+
+    Behaves exactly like the deterministic passing-run scheduler except
+    at planned points: *before* an acquire / at a thread start the pick
+    is redirected to the planned thread; *after* a release the next pick
+    is forced.  Unfireable preemptions (target not runnable) dissolve —
+    the run simply continues deterministically, which mirrors CHESS
+    discarding infeasible schedules.
+    """
+
+    def __init__(self, plan):
+        self.pending = list(plan)
+        self.current = None
+        self.started = set()
+        self.counters = {}
+        self.forced_next = None
+        self.fired = []
+
+    # -- plan matching -------------------------------------------------------
+
+    def _match(self, thread, kind, lock, occurrence):
+        for i, item in enumerate(self.pending):
+            if (item.thread == thread and item.kind == kind
+                    and item.lock == lock and item.occurrence == occurrence):
+                return self.pending.pop(i)
+        return None
+
+    def pick(self, execution, runnable):
+        if self.forced_next is not None:
+            forced, self.forced_next = self.forced_next, None
+            if forced in runnable:
+                return forced
+        choice = self.current if self.current in runnable else runnable[0]
+        for _ in range(len(self.pending) + 1):
+            redirected = self._check_pre_step_preemption(
+                execution, choice, runnable)
+            if redirected is None or redirected == choice:
+                break
+            choice = redirected
+        return choice
+
+    def _check_pre_step_preemption(self, execution, choice, runnable):
+        if choice not in self.started:
+            item = self._match(choice, "start", None, 0)
+            if item is not None:
+                self.fired.append(item)
+                if item.switch_to in runnable and item.switch_to != choice:
+                    return item.switch_to
+                return None
+        thread = execution.threads[choice]
+        if thread.pc is not None:
+            instr = execution.compiled.instr(thread.pc)
+            if instr.op is Opcode.ACQUIRE:
+                occurrence = self.counters.get(
+                    (choice, "acquire", instr.lock), 0)
+                item = self._match(choice, "acquire", instr.lock, occurrence)
+                if item is not None:
+                    self.fired.append(item)
+                    if item.switch_to in runnable and item.switch_to != choice:
+                        return item.switch_to
+        return None
+
+    def observe(self, execution, effects):
+        self.current = effects.thread
+        self.started.add(effects.thread)
+        if effects.sync is not None:
+            kind, lock = effects.sync
+            key = (effects.thread, kind, lock)
+            occurrence = self.counters.get(key, 0)
+            self.counters[key] = occurrence + 1
+            if kind == "release":
+                item = self._match(effects.thread, "release", lock, occurrence)
+                if item is not None:
+                    self.fired.append(item)
+                    if item.switch_to is not None \
+                            and item.switch_to != effects.thread:
+                        self.forced_next = item.switch_to

@@ -1,0 +1,20 @@
+"""Tracing, dynamic slicing, and CSV-access prioritization."""
+
+from .distance import (
+    CSVAccess,
+    extract_csv_accesses,
+    rank_dependence,
+    rank_temporal,
+)
+from .slicer import DynamicSlicer
+from .trace import TraceCollector, TraceEvent
+
+__all__ = [
+    "CSVAccess",
+    "extract_csv_accesses",
+    "rank_dependence",
+    "rank_temporal",
+    "DynamicSlicer",
+    "TraceCollector",
+    "TraceEvent",
+]

@@ -1,0 +1,76 @@
+"""CSV access extraction and prioritization (paper Sec. 4).
+
+Given the passing run's trace and the CSV locations from the dump
+comparison, extract every access (read or write) to a CSV at or before
+the aligned point, then rank:
+
+* **temporal distance** — accesses closer (in steps) to the aligned
+  point get smaller priority numbers (1 is best);
+* **dependence distance** — accesses on events in the dynamic slice get
+  priorities by slice distance; accesses outside the slice get the
+  lowest priority (``None`` — the paper's ``⊥``), "as they are very
+  likely not relevant to the failure".
+"""
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CSVAccess:
+    """One access to a critical shared variable in the passing run."""
+
+    step: int
+    pc: int
+    thread: str
+    location: tuple
+    kind: str  # "read" | "write"
+    priority: Optional[int] = None  # smaller is more critical; None is ⊥
+
+    def describe(self):
+        tag = "⊥" if self.priority is None else str(self.priority)
+        return "%s of %r at pc=%d step=%d (priority %s)" % (
+            self.kind, self.location, self.pc, self.step, tag)
+
+
+def extract_csv_accesses(events, csv_locs, upto_step=None):
+    """All CSV accesses in ``events`` at or before ``upto_step``."""
+    accesses = []
+    for event in events:
+        if upto_step is not None and event.step > upto_step:
+            continue
+        for loc in event.uses:
+            if loc in csv_locs:
+                accesses.append(CSVAccess(step=event.step, pc=event.pc,
+                                          thread=event.thread, location=loc,
+                                          kind="read"))
+        for loc in event.defs:
+            if loc in csv_locs:
+                accesses.append(CSVAccess(step=event.step, pc=event.pc,
+                                          thread=event.thread, location=loc,
+                                          kind="write"))
+    return accesses
+
+
+def rank_temporal(accesses):
+    """Temporal-distance heuristic: most recent access gets priority 1."""
+    ordered = sorted(accesses, key=lambda a: -a.step)
+    return [replace(access, priority=rank + 1)
+            for rank, access in enumerate(ordered)]
+
+
+def rank_dependence(accesses, slice_distances):
+    """Dependence-distance heuristic over a computed slice.
+
+    Accesses whose event is in the slice are ranked by slice distance
+    (dense ranks, ties share a priority); the rest get ``None`` (⊥).
+    """
+    in_slice = [a for a in accesses if a.step in slice_distances]
+    out_slice = [a for a in accesses if a.step not in slice_distances]
+    distinct = sorted({slice_distances[a.step] for a in in_slice})
+    rank_of = {dist: i + 1 for i, dist in enumerate(distinct)}
+    ranked = [replace(a, priority=rank_of[slice_distances[a.step]])
+              for a in in_slice]
+    ranked += [replace(a, priority=None) for a in out_slice]
+    ranked.sort(key=lambda a: a.step)
+    return ranked

@@ -1,0 +1,73 @@
+"""Trace collection for the passing run.
+
+The stand-in for the paper's Valgrind tracing component: a hook that
+records, per executed instruction, its defs, uses, branch outcome, sync
+operation, and *dynamic* control-dependence parent (the step number of
+the governing branch instance, maintained for free by the interpreter's
+region stacks).  The dynamic slicer and the preemption-candidate
+enumeration both consume this stream.
+
+A bounded window (the paper used 20M instructions, we default to
+unbounded) keeps memory proportional to the tail of the execution.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed instruction, as recorded in the trace."""
+
+    step: int
+    thread: str
+    pc: int
+    op: object
+    defs: tuple
+    uses: tuple
+    branch_outcome: Optional[bool]
+    dynamic_cd_step: Optional[int]
+    sync: Optional[tuple]
+    entered_frame: bool = False
+
+
+class TraceCollector:
+    """Hook collecting :class:`TraceEvent` for every step.
+
+    Attach *before* hooks that may stop the execution (e.g. the alignment
+    hook) so the stopping event itself is recorded.
+    """
+
+    def __init__(self, window=None):
+        self.window = window
+        self._events = deque(maxlen=window)
+        self._by_step = None
+
+    def on_after_step(self, execution, effects):
+        self._events.append(TraceEvent(
+            step=effects.step,
+            thread=effects.thread,
+            pc=effects.pc,
+            op=effects.op,
+            defs=tuple(effects.defs),
+            uses=tuple(effects.uses),
+            branch_outcome=effects.branch_outcome,
+            dynamic_cd_step=effects.dynamic_cd_step,
+            sync=effects.sync,
+            entered_frame=effects.entered_frame,
+        ))
+        self._by_step = None
+
+    def events(self):
+        """All recorded events, oldest first."""
+        return list(self._events)
+
+    def event_at(self, step):
+        """The event recorded for ``step``, or None if outside the window."""
+        if self._by_step is None:
+            self._by_step = {e.step: e for e in self._events}
+        return self._by_step.get(step)
+
+    def __len__(self):
+        return len(self._events)

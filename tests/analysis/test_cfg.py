@@ -1,0 +1,95 @@
+"""Control-flow graph construction."""
+
+import pytest
+
+from repro.analysis.cfg import CFG, build_cfgs
+from repro.lang import builder as B
+from repro.lang.errors import AnalysisError
+from repro.lang.lower import Opcode, lower_program
+
+
+def compile_body(body):
+    prog = B.program("t", functions=[B.func("main", [], body)],
+                     threads=[B.thread("t0", "main")])
+    return lower_program(prog)
+
+
+class TestEdges:
+    def test_straight_line_chain(self):
+        compiled = compile_body([B.assign("x", 1), B.assign("y", 2)])
+        cfg = CFG(compiled, compiled.func_code("main"))
+        assert cfg.successors(0) == [1]
+        assert cfg.successors(1) == [2]
+
+    def test_return_edges_to_virtual_exit(self):
+        compiled = compile_body([B.ret()])
+        cfg = CFG(compiled, compiled.func_code("main"))
+        assert cfg.successors(0) == [cfg.exit]
+        assert cfg.exit < 0
+
+    def test_branch_has_labeled_edges(self):
+        compiled = compile_body([B.if_(B.v("c"), [B.assign("x", 1)])])
+        cfg = CFG(compiled, compiled.func_code("main"))
+        labels = {label for _, label in cfg.succs[0]}
+        assert labels == {True, False}
+
+    def test_branch_edges_listing(self):
+        compiled = compile_body([
+            B.if_(B.v("c"), [B.assign("x", 1)]),
+            B.while_(B.v("d"), []),
+        ])
+        cfg = CFG(compiled, compiled.func_code("main"))
+        preds = {pc for pc, _, _ in cfg.branch_edges()}
+        branch_pcs = {pc for pc in compiled.func_code("main").pcs()
+                      if compiled.instr(pc).op is Opcode.BRANCH}
+        assert preds == branch_pcs
+
+    def test_every_node_in_preds_and_succs(self):
+        compiled = compile_body([
+            B.for_("i", 0, 3, [B.if_(B.v("c"), [B.break_()])]),
+        ])
+        cfg = CFG(compiled, compiled.func_code("main"))
+        for node in cfg.nodes:
+            assert node in cfg.succs
+            assert node in cfg.preds
+
+
+class TestReversePostorder:
+    def test_exit_first(self):
+        compiled = compile_body([B.assign("x", 1)])
+        cfg = CFG(compiled, compiled.func_code("main"))
+        order = cfg.reverse_postorder_from_exit()
+        assert order[0] == cfg.exit
+        assert set(order) == set(cfg.nodes)
+
+    def test_structurally_infinite_loop_detected(self):
+        compiled = compile_body([
+            B.label("top"),
+            B.assign("x", 1),
+            B.goto("top"),
+            B.assign("never", 1),
+        ])
+        cfg = CFG(compiled, compiled.func_code("main"))
+        with pytest.raises(AnalysisError):
+            cfg.reverse_postorder_from_exit()
+
+    def test_loops_are_fine(self):
+        compiled = compile_body([
+            B.while_(B.v("c"), [B.assign("x", 1)]),
+        ])
+        cfg = CFG(compiled, compiled.func_code("main"))
+        order = cfg.reverse_postorder_from_exit()
+        assert len(order) == len(cfg.nodes)
+
+
+class TestBuildAll:
+    def test_build_cfgs_covers_all_functions(self):
+        prog = B.program("t", functions=[
+            B.func("a", [], [B.assign("x", 1)]),
+            B.func("b", [], [B.assign("y", 2)]),
+        ], threads=[B.thread("t0", "a")])
+        compiled = lower_program(prog)
+        cfgs = build_cfgs(compiled)
+        assert set(cfgs) == {"a", "b"}
+        # virtual exits are unique per function
+        assert cfgs["a"].exit != cfgs["b"].exit

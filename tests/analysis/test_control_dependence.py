@@ -1,0 +1,192 @@
+"""Control dependence and the Table 1 classifier."""
+
+from repro.analysis import Category, StaticAnalysis
+from repro.lang import builder as B
+from repro.lang.lower import Opcode, lower_program
+
+
+def analyze(body, extra_funcs=()):
+    prog = B.program("t",
+                     functions=[B.func("main", [], body)] + list(extra_funcs),
+                     threads=[B.thread("t0", "main")])
+    compiled = lower_program(prog)
+    return compiled, StaticAnalysis(compiled)
+
+
+def find_assign_to(compiled, name, nth=0):
+    hits = [i.pc for i in compiled.instrs
+            if i.op is Opcode.ASSIGN and getattr(i.target, "name", None) == name]
+    return hits[nth]
+
+
+def find_branches(compiled):
+    return [i.pc for i in compiled.instrs if i.op is Opcode.BRANCH]
+
+
+class TestBasicControlDependence:
+    def test_then_block_depends_on_true_branch(self):
+        compiled, sa = analyze([
+            B.if_(B.v("c"), [B.assign("x", 1)], [B.assign("y", 2)]),
+        ])
+        x_pc = find_assign_to(compiled, "x")
+        y_pc = find_assign_to(compiled, "y")
+        branch = find_branches(compiled)[0]
+        assert sa.cd_of(x_pc) == {(branch, True)}
+        assert sa.cd_of(y_pc) == {(branch, False)}
+
+    def test_statement_after_join_has_no_cd(self):
+        compiled, sa = analyze([
+            B.if_(B.v("c"), [B.assign("x", 1)]),
+            B.assign("z", 3),
+        ])
+        z_pc = find_assign_to(compiled, "z")
+        assert sa.cd_of(z_pc) == frozenset()
+
+    def test_loop_body_depends_on_header_true(self):
+        compiled, sa = analyze([
+            B.while_(B.v("c"), [B.assign("x", 1)]),
+        ])
+        x_pc = find_assign_to(compiled, "x")
+        header = find_branches(compiled)[0]
+        assert sa.cd_of(x_pc) == {(header, True)}
+
+    def test_loop_header_self_dependence(self):
+        compiled, sa = analyze([
+            B.while_(B.v("c"), [B.assign("x", 1)]),
+        ])
+        header = find_branches(compiled)[0]
+        assert (header, True) in sa.cd_of(header)
+
+    def test_nested_if_chain(self):
+        compiled, sa = analyze([
+            B.if_(B.v("a"), [
+                B.if_(B.v("b"), [B.assign("x", 1)]),
+            ]),
+        ])
+        x_pc = find_assign_to(compiled, "x")
+        outer, inner = find_branches(compiled)
+        assert sa.cd_of(x_pc) == {(inner, True)}
+        assert sa.cd_of(inner) == {(outer, True)}
+
+    def test_transitive_ancestors(self):
+        compiled, sa = analyze([
+            B.if_(B.v("a"), [
+                B.if_(B.v("b"), [B.assign("x", 1)]),
+            ]),
+        ])
+        x_pc = find_assign_to(compiled, "x")
+        outer, inner = find_branches(compiled)
+        ancestors = sa.cds["main"].transitive_ancestors(x_pc)
+        assert (inner, True) in ancestors
+        assert (outer, True) in ancestors
+
+    def test_depends_on_branch(self):
+        compiled, sa = analyze([
+            B.if_(B.v("a"), [
+                B.if_(B.v("b"), [B.assign("x", 1)]),
+            ]),
+        ])
+        x_pc = find_assign_to(compiled, "x")
+        outer, inner = find_branches(compiled)
+        assert sa.depends_on_branch(x_pc, outer, True)
+        assert not sa.depends_on_branch(x_pc, outer, False)
+
+
+class TestShortCircuit:
+    def test_or_chain_gives_aggregatable(self):
+        compiled, sa = analyze([
+            B.if_(B.or_(B.v("a"), B.v("b")), [B.assign("x", 1)]),
+        ])
+        x_pc = find_assign_to(compiled, "x")
+        assert len(sa.cd_of(x_pc)) == 2
+        agg = sa.aggregate_of(x_pc)
+        assert agg is not None
+        assert agg.label is True
+        assert list(agg.members) == find_branches(compiled)[:2]
+        assert sa.classify(x_pc) is Category.AGGREGATABLE
+
+    def test_and_chain_else_is_aggregatable(self):
+        compiled, sa = analyze([
+            B.if_(B.and_(B.v("a"), B.v("b")),
+                  [B.assign("x", 1)], [B.assign("y", 2)]),
+        ])
+        y_pc = find_assign_to(compiled, "y")
+        agg = sa.aggregate_of(y_pc)
+        assert agg is not None and agg.label is False
+
+    def test_and_chain_then_is_single_cd(self):
+        compiled, sa = analyze([
+            B.if_(B.and_(B.v("a"), B.v("b")), [B.assign("x", 1)]),
+        ])
+        x_pc = find_assign_to(compiled, "x")
+        assert sa.classify(x_pc) is Category.ONE_CD
+
+
+class TestGotoNonAggregatable:
+    def _fig6_body(self):
+        # the paper's Fig. 6: goto into a sibling branch under an
+        # always-true outer predicate
+        return [
+            B.if_(B.v("p1"), [
+                B.if_(B.v("p2"), [B.goto("l26")]),
+                B.assign("s1", 1),
+                B.if_(B.v("p3"), [
+                    B.label("l26"),
+                    B.assign("s2", 1),
+                ], [
+                    B.assign("s3", 1),
+                ]),
+            ]),
+            B.assign("s4", 1),
+        ]
+
+    def test_goto_target_has_two_cds(self):
+        compiled, sa = analyze(self._fig6_body())
+        s2 = find_assign_to(compiled, "s2")
+        deps = sa.cd_of(s2)
+        assert len(deps) == 2
+        assert {label for _, label in deps} == {True}
+
+    def test_not_aggregatable(self):
+        compiled, sa = analyze(self._fig6_body())
+        s2 = find_assign_to(compiled, "s2")
+        assert sa.aggregate_of(s2) is None
+        assert sa.classify(s2) is Category.NON_AGGREGATABLE
+
+    def test_closest_common_ancestor_is_outer(self):
+        compiled, sa = analyze(self._fig6_body())
+        s2 = find_assign_to(compiled, "s2")
+        p1 = find_branches(compiled)[0]
+        assert sa.closest_common_ancestor(s2) == (p1, True)
+
+
+class TestClassifier:
+    def test_loop_headers_classified_loop(self):
+        compiled, sa = analyze([B.while_(B.v("c"), []),
+                                B.for_("i", 0, 2, [])])
+        for pc in find_branches(compiled):
+            assert sa.classify(pc) is Category.LOOP
+
+    def test_method_body_category(self):
+        compiled, sa = analyze([B.assign("x", 1)])
+        assert sa.classify(find_assign_to(compiled, "x")) \
+            is Category.METHOD_BODY
+
+    def test_table1_distribution_sums(self):
+        compiled, sa = analyze([
+            B.if_(B.v("a"), [B.assign("x", 1)]),
+            B.while_(B.v("c"), [B.assign("y", 2)]),
+        ])
+        counts, percentages, total = sa.table1_distribution()
+        assert sum(counts.values()) == total
+        assert abs(sum(percentages.values()) - 100.0) < 1e-9
+
+    def test_bug_suite_covers_all_categories(self):
+        from repro.bugs import get_scenario
+        from repro.lang.lower import lower_program as lower
+        compiled = lower(get_scenario("mysql-5").build())
+        sa = StaticAnalysis(compiled)
+        counts, _, _ = sa.table1_distribution()
+        assert counts[Category.NON_AGGREGATABLE] > 0
+        assert counts[Category.LOOP] > 0
+        assert counts[Category.ONE_CD] > 0

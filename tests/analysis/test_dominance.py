@@ -1,0 +1,107 @@
+"""Post-dominator computation."""
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dominance import PostDominators
+from repro.lang import builder as B
+from repro.lang.lower import Opcode, lower_program
+
+
+def analyze(body):
+    prog = B.program("t", functions=[B.func("main", [], body)],
+                     threads=[B.thread("t0", "main")])
+    compiled = lower_program(prog)
+    cfg = CFG(compiled, compiled.func_code("main"))
+    return compiled, cfg, PostDominators(cfg)
+
+
+def find(compiled, op, nth=0):
+    hits = [i.pc for i in compiled.instrs if i.op is op]
+    return hits[nth]
+
+
+class TestIfPostDominators:
+    def test_if_ipdom_is_join(self):
+        compiled, cfg, pdom = analyze([
+            B.if_(B.v("c"), [B.assign("x", 1)], [B.assign("y", 2)]),
+            B.assign("z", 3),
+        ])
+        branch = find(compiled, Opcode.BRANCH)
+        join = pdom.immediate(branch)
+        assert compiled.instr(join).note == "join"
+
+    def test_straight_line_ipdom_is_next(self):
+        compiled, cfg, pdom = analyze([B.assign("x", 1), B.assign("y", 2)])
+        assert pdom.immediate(0) == 1
+
+    def test_exit_is_its_own_ipdom(self):
+        compiled, cfg, pdom = analyze([B.assign("x", 1)])
+        assert pdom.immediate(cfg.exit) == cfg.exit
+
+    def test_dominates_reflexive_and_chain(self):
+        compiled, cfg, pdom = analyze([B.assign("x", 1), B.assign("y", 2)])
+        assert pdom.dominates(0, 0)
+        assert pdom.dominates(1, 0)
+        assert not pdom.dominates(0, 1)
+        assert pdom.dominates(cfg.exit, 0)
+
+    def test_all_postdominators_chain_ends_at_exit(self):
+        compiled, cfg, pdom = analyze([B.assign("x", 1)])
+        chain = pdom.all_postdominators(0)
+        assert chain[0] == 0
+        assert chain[-1] == cfg.exit
+
+
+class TestLoopPostDominators:
+    def test_while_header_ipdom_is_loop_exit(self):
+        compiled, cfg, pdom = analyze([
+            B.while_(B.v("c"), [B.assign("x", 1)]),
+            B.assign("after", 1),
+        ])
+        header = find(compiled, Opcode.BRANCH)
+        exit_nop = pdom.immediate(header)
+        assert compiled.instr(exit_nop).note.startswith("loop-exit")
+
+    def test_for_header_ipdom_is_loop_exit(self):
+        compiled, cfg, pdom = analyze([
+            B.for_("i", 0, 3, [B.assign("x", 1)]),
+        ])
+        header = find(compiled, Opcode.BRANCH)
+        assert compiled.instr(pdom.immediate(header)).note.startswith(
+            "loop-exit")
+
+    def test_loop_body_postdominated_by_header(self):
+        compiled, cfg, pdom = analyze([
+            B.while_(B.v("c"), [B.assign("x", 1)]),
+        ])
+        header = find(compiled, Opcode.BRANCH)
+        body = find(compiled, Opcode.ASSIGN)
+        # the back edge makes the header post-dominate the body
+        assert pdom.dominates(header, body)
+
+    def test_nested_if_in_loop(self):
+        compiled, cfg, pdom = analyze([
+            B.while_(B.v("c"), [
+                B.if_(B.v("d"), [B.assign("x", 1)]),
+            ]),
+        ])
+        inner = find(compiled, Opcode.BRANCH, nth=1)
+        join = pdom.immediate(inner)
+        assert compiled.instr(join).note == "join"
+
+
+class TestBreakInteraction:
+    def test_break_does_not_confuse_header_region(self):
+        compiled, cfg, pdom = analyze([
+            B.while_(B.v("c"), [
+                B.if_(B.v("d"), [B.break_()]),
+                B.assign("x", 1),
+            ]),
+            B.assign("after", 2),
+        ])
+        header = find(compiled, Opcode.BRANCH)
+        exit_pc = pdom.immediate(header)
+        assert compiled.instr(exit_pc).note.startswith("loop-exit")
+        # the inner if's region now extends to the loop exit, because the
+        # break makes the join not post-dominate the predicate
+        inner = find(compiled, Opcode.BRANCH, nth=1)
+        assert pdom.immediate(inner) == exit_pc

@@ -1,0 +1,90 @@
+"""Shared fixtures: common programs, bundles, and dump helpers."""
+
+import pytest
+
+from repro.bugs import get_scenario
+from repro.coredump.dump import take_core_dump
+from repro.lang import builder as B
+from repro.pipeline.bundle import ProgramBundle
+from repro.runtime.events import Failure
+
+
+def build_nested_program():
+    """A single-thread program with calls, loops, and branches.
+
+    Used across the indexing tests: the crash-free structure is rich
+    enough to exercise every EI rule (nested loops, calls inside
+    branches, branches inside callees).
+    """
+    leaf = B.func("leaf", ["v"], [
+        B.if_(B.gt(B.v("v"), 2), [
+            B.assign("big", B.add(B.v("big"), 1)),
+        ], [
+            B.assign("small", B.add(B.v("small"), 1)),
+        ]),
+        B.ret(B.mul(B.v("v"), 2)),
+    ])
+    middle = B.func("middle", ["k"], [
+        B.assign("acc", 0),
+        B.for_("i", 0, B.v("k"), [
+            B.call("leaf", [B.v("i")], target="got"),
+            B.assign("acc", B.add(B.v("acc"), B.v("got"))),
+        ]),
+        B.ret(B.v("acc")),
+    ])
+    main = B.func("main", [], [
+        B.assign("n", 0),
+        B.while_(B.lt(B.v("n"), 3), [
+            B.call("middle", [B.add(B.v("n"), 2)], target="r"),
+            B.assign("sum", B.add(B.v("sum"), B.v("r"))),
+            B.assign("n", B.add(B.v("n"), 1)),
+        ]),
+        B.output(B.v("sum")),
+    ])
+    return B.program(
+        "nested",
+        globals_={"big": 0, "small": 0, "sum": 0},
+        functions=[leaf, middle, main],
+        threads=[B.thread("main", "main")],
+    )
+
+
+def probe_dump(execution, thread_name, kind="probe"):
+    """Fabricate a failure-shaped dump at a thread's current point.
+
+    Lets the indexing tests reverse-engineer indices at arbitrary
+    (non-crashing) execution points.
+    """
+    dump = take_core_dump(execution, "aligned", failing_thread=thread_name)
+    pc = execution.threads[thread_name].pc
+    dump.failure = Failure(kind=kind, pc=pc, thread=thread_name,
+                           message="probe")
+    return dump
+
+
+@pytest.fixture(scope="session")
+def nested_bundle():
+    return ProgramBundle(build_nested_program())
+
+
+@pytest.fixture(scope="session")
+def fig1_scenario():
+    return get_scenario("fig1")
+
+
+@pytest.fixture(scope="session")
+def fig1_bundle(fig1_scenario):
+    return ProgramBundle(fig1_scenario.build())
+
+
+_BUNDLES = {}
+
+
+@pytest.fixture
+def bundle_of():
+    """Factory fixture: cached ProgramBundle per scenario name."""
+    def factory(name):
+        if name not in _BUNDLES:
+            _BUNDLES[name] = ProgramBundle(get_scenario(name).build())
+        return _BUNDLES[name]
+    return factory

@@ -1,0 +1,211 @@
+"""Core dumps: snapshotting, reachability, comparison, serialization."""
+
+import pytest
+
+from repro.analysis import StaticAnalysis
+from repro.coredump import (
+    compare_dumps,
+    dump_from_json,
+    dump_size_bytes,
+    dump_to_json,
+    reachable_cells,
+    take_core_dump,
+)
+from repro.lang import builder as B
+from repro.lang.errors import DumpError
+from repro.lang.lower import lower_program
+from repro.runtime import DeterministicScheduler, Execution
+
+
+def run_to_failure(body, globals_=None, functions=()):
+    prog = B.program("t", globals_=globals_ or {},
+                     functions=[B.func("main", [], body)] + list(functions),
+                     threads=[B.thread("t0", "main")])
+    compiled = lower_program(prog)
+    ex = Execution(compiled, StaticAnalysis(compiled),
+                   DeterministicScheduler())
+    res = ex.run()
+    assert res.failed
+    return ex, res
+
+
+CRASH_BODY = [
+    B.assign("local_a", 7),
+    B.assign("p", B.alloc_struct(x=1, next=B.alloc_struct(x=2, next=None))),
+    B.assign(B.field(B.v("shared"), "hits"), 3),
+    B.assert_(0, "boom"),
+]
+
+CRASH_GLOBALS = {"shared": {"hits": 0}, "flag": 1, "items": [10, 20]}
+
+
+class TestTakeDump:
+    def test_failure_dump_contents(self):
+        ex, res = run_to_failure(CRASH_BODY, dict(CRASH_GLOBALS))
+        dump = take_core_dump(ex, "failure")
+        assert dump.failing_thread == "t0"
+        assert dump.failure_pc == res.failure.pc
+        assert dump.threads["t0"].frames[-1].pc == res.failure.pc
+        assert dump.threads["t0"].frames[-1].locals["local_a"] == 7
+        assert dump.threads["t0"].instr_count == res.steps
+
+    def test_failure_dump_of_passing_run_rejected(self):
+        prog = B.program("t", functions=[B.func("main", [], [])],
+                         threads=[B.thread("t0", "main")])
+        compiled = lower_program(prog)
+        ex = Execution(compiled, StaticAnalysis(compiled),
+                       DeterministicScheduler())
+        ex.run()
+        with pytest.raises(DumpError):
+            take_core_dump(ex, "failure")
+
+    def test_aligned_dump_needs_thread(self):
+        prog = B.program("t", functions=[B.func("main", [], [])],
+                         threads=[B.thread("t0", "main")])
+        compiled = lower_program(prog)
+        ex = Execution(compiled, StaticAnalysis(compiled),
+                       DeterministicScheduler())
+        ex.run()
+        with pytest.raises(DumpError):
+            take_core_dump(ex, "aligned")
+        dump = take_core_dump(ex, "aligned", failing_thread="t0")
+        assert dump.kind == "aligned"
+
+
+class TestReachability:
+    def test_reference_paths(self):
+        ex, _ = run_to_failure(CRASH_BODY, dict(CRASH_GLOBALS))
+        dump = take_core_dump(ex, "failure")
+        cells, object_paths = reachable_cells(dump, "t0")
+        assert cells["g:flag"].value == 1
+        assert cells["g:shared->hits"].value == 3
+        assert cells["g:items[1]"].value == 20
+        # locals paths carry frame depth + function
+        assert cells["l:t0#0:main:local_a"].value == 7
+        # nested heap objects through locals
+        assert cells["l:t0#0:main:p->next->x"].value == 2
+
+    def test_shared_flag(self):
+        ex, _ = run_to_failure(CRASH_BODY, dict(CRASH_GLOBALS))
+        dump = take_core_dump(ex, "failure")
+        cells, _ = reachable_cells(dump, "t0")
+        assert cells["g:shared->hits"].shared
+        assert not cells["l:t0#0:main:local_a"].shared
+
+    def test_pointer_cells_collapsed(self):
+        ex, _ = run_to_failure(CRASH_BODY, dict(CRASH_GLOBALS))
+        dump = take_core_dump(ex, "failure")
+        cells, _ = reachable_cells(dump, "t0")
+        assert cells["l:t0#0:main:p"].value == "non-NULL"
+        assert cells["l:t0#0:main:p->next->next"].value == "NULL"
+
+    def test_cyclic_heap_terminates(self):
+        ex, _ = run_to_failure([
+            B.assign("a", B.alloc_struct(next=None, v=1)),
+            B.assign("b", B.alloc_struct(next=B.v("a"), v=2)),
+            B.assign(B.field(B.v("a"), "next"), B.v("b")),
+            B.assign("cyc", B.v("a")),  # global -> cycle
+            B.assert_(0, "boom"),
+        ], {"cyc": None})
+        dump = take_core_dump(ex, "failure")
+        cells, object_paths = reachable_cells(dump, "t0")
+        # each object visited once, through its canonical path
+        assert len(object_paths) == 2
+
+    def test_unreachable_heap_not_listed(self):
+        ex, _ = run_to_failure([
+            B.assign("tmp", B.alloc_struct(v=9)),
+            B.assign("tmp", B.null()),  # orphan the object
+            B.assert_(0, "boom"),
+        ])
+        dump = take_core_dump(ex, "failure")
+        cells, object_paths = reachable_cells(dump, "t0")
+        assert object_paths == {}
+
+
+class TestCompare:
+    def _two_dumps(self, mutate):
+        ex1, _ = run_to_failure(CRASH_BODY, dict(CRASH_GLOBALS))
+        dump1 = take_core_dump(ex1, "failure")
+        ex2, _ = run_to_failure(CRASH_BODY, dict(CRASH_GLOBALS))
+        mutate(ex2)
+        dump2 = take_core_dump(ex2, "aligned", failing_thread="t0")
+        return dump1, dump2
+
+    def test_self_compare_is_empty(self):
+        dump1, dump2 = self._two_dumps(lambda ex: None)
+        comparison = compare_dumps(dump1, dump2)
+        assert comparison.differences == []
+        assert comparison.vars_compared > 0
+
+    def test_global_difference_is_csv(self):
+        def mutate(ex):
+            ex.globals["flag"] = 99
+        dump1, dump2 = self._two_dumps(mutate)
+        comparison = compare_dumps(dump1, dump2)
+        assert comparison.csv_paths() == ["g:flag"]
+        diff = comparison.csvs[0]
+        assert diff.failing_value == 1 and diff.passing_value == 99
+        assert diff.passing_location == ("global", "flag")
+
+    def test_heap_difference_through_global(self):
+        def mutate(ex):
+            obj = ex.heap.deref(ex.globals["shared"])
+            obj.set("hits", 100)
+        dump1, dump2 = self._two_dumps(mutate)
+        comparison = compare_dumps(dump1, dump2)
+        assert comparison.csv_paths() == ["g:shared->hits"]
+        assert comparison.csvs[0].passing_location[0] == "heap"
+
+    def test_local_difference_is_not_csv(self):
+        def mutate(ex):
+            ex.threads["t0"].frames[0].locals["local_a"] = 0
+        dump1, dump2 = self._two_dumps(mutate)
+        comparison = compare_dumps(dump1, dump2)
+        assert len(comparison.differences) == 1
+        assert comparison.csvs == []
+
+    def test_summary_row_shape(self):
+        dump1, dump2 = self._two_dumps(lambda ex: None)
+        vars_, diffs, shared, csvs = compare_dumps(dump1, dump2).summary_row()
+        assert vars_ >= shared
+        assert diffs == csvs == 0
+
+
+class TestSerialize:
+    def test_roundtrip(self):
+        ex, _ = run_to_failure(CRASH_BODY, dict(CRASH_GLOBALS))
+        dump = take_core_dump(ex, "failure")
+        clone = dump_from_json(dump_to_json(dump))
+        assert clone.failing_thread == dump.failing_thread
+        assert clone.failure.pc == dump.failure.pc
+        assert clone.globals == dump.globals
+        assert clone.heap == dump.heap
+        assert clone.threads["t0"].frames[-1].locals == \
+            dump.threads["t0"].frames[-1].locals
+
+    def test_roundtrip_preserves_comparison(self):
+        ex, _ = run_to_failure(CRASH_BODY, dict(CRASH_GLOBALS))
+        dump = take_core_dump(ex, "failure")
+        clone = dump_from_json(dump_to_json(dump))
+        comparison = compare_dumps(dump, clone)
+        assert comparison.differences == []
+
+    def test_size_positive_and_stable(self):
+        ex, _ = run_to_failure(CRASH_BODY, dict(CRASH_GLOBALS))
+        dump = take_core_dump(ex, "failure")
+        assert dump_size_bytes(dump) == dump_size_bytes(dump) > 100
+
+    def test_loop_counters_roundtrip_int_keys(self):
+        ex, _ = run_to_failure([
+            B.assign("n", 0),
+            B.while_(B.lt(B.v("n"), 3), [
+                B.assign("n", B.add(B.v("n"), 1)),
+                B.if_(B.eq(B.v("n"), 2), [B.assert_(0, "boom")]),
+            ]),
+        ])
+        dump = take_core_dump(ex, "failure")
+        clone = dump_from_json(dump_to_json(dump))
+        original = dump.threads["t0"].frames[-1].loop_counters
+        assert clone.threads["t0"].frames[-1].loop_counters == original
+        assert all(isinstance(k, int) for k in original)

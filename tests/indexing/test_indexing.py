@@ -1,0 +1,275 @@
+"""Execution indexing: online derivation, Algorithm 1, alignment."""
+
+import pytest
+
+from repro.analysis import StaticAnalysis
+from repro.indexing import (
+    AlignmentHook,
+    AlignmentStatus,
+    BranchEntry,
+    MethodEntry,
+    StatementEntry,
+    ThreadEntry,
+    current_index,
+    reverse_engineer_index,
+)
+from repro.lang import builder as B
+from repro.lang.errors import IndexingError
+from repro.lang.lower import lower_program
+from repro.runtime import DeterministicScheduler, Execution
+from repro.coredump import take_core_dump
+
+from tests.conftest import probe_dump
+
+
+def run_to_failure(body, globals_=None, functions=(), instrument=True):
+    prog = B.program("t", globals_=globals_ or {},
+                     functions=[B.func("main", [], body)] + list(functions),
+                     threads=[B.thread("t0", "main")])
+    compiled = lower_program(prog)
+    sa = StaticAnalysis(compiled)
+    ex = Execution(compiled, sa, DeterministicScheduler(),
+                   instrument_loops=instrument)
+    res = ex.run()
+    assert res.failed, "program expected to fail"
+    return ex, res, sa
+
+
+class TestOnlineIndex:
+    def test_root_and_leaf(self):
+        ex, res, sa = run_to_failure([B.assert_(0, "boom")])
+        idx = current_index(ex, "t0")
+        assert isinstance(idx.root, ThreadEntry)
+        assert isinstance(idx.leaf, StatementEntry)
+        assert idx.leaf.pc == res.failure.pc
+
+    def test_branch_nesting_appears(self):
+        ex, res, sa = run_to_failure([
+            B.if_(B.eq(1, 1), [B.assert_(0, "boom")]),
+        ])
+        idx = current_index(ex, "t0")
+        kinds = [type(e).__name__ for e in idx]
+        assert kinds == ["ThreadEntry", "BranchEntry", "StatementEntry"]
+        assert idx[1].outcome is True
+
+    def test_loop_iterations_stack(self):
+        ex, res, sa = run_to_failure([
+            B.for_("i", 0, 5, [
+                B.if_(B.eq(B.v("i"), 2), [B.assert_(0, "boom")]),
+            ]),
+        ])
+        idx = current_index(ex, "t0")
+        loop_entries = [e for e in idx if isinstance(e, BranchEntry)
+                        and e.outcome and e.pred_pc == idx[1].pred_pc]
+        assert len(loop_entries) == 3  # iterations 1..3 live (the 2T spine)
+
+    def test_method_entries_record_call_site(self):
+        callee = B.func("callee", [], [B.assert_(0, "boom")])
+        ex, res, sa = run_to_failure([B.call("callee")],
+                                     functions=[callee])
+        idx = current_index(ex, "t0")
+        methods = [e for e in idx if isinstance(e, MethodEntry)]
+        assert len(methods) == 1
+        call_instr = sa.compiled.instr(methods[0].call_pc)
+        assert call_instr.callee == "callee"
+
+
+class TestReverseEngineering:
+    """Algorithm 1's output must equal the online (ground truth) index."""
+
+    def assert_reverse_matches_online(self, body, globals_=None,
+                                      functions=()):
+        ex, res, sa = run_to_failure(body, globals_, functions)
+        online = current_index(ex, "t0")
+        dump = take_core_dump(ex, "failure")
+        reversed_idx = reverse_engineer_index(dump, sa)
+        assert reversed_idx == online
+        return reversed_idx
+
+    def test_straight_line(self):
+        self.assert_reverse_matches_online([B.assert_(0, "x")])
+
+    def test_inside_if(self):
+        self.assert_reverse_matches_online([
+            B.if_(B.eq(1, 1), [B.assert_(0, "x")]),
+        ])
+
+    def test_inside_else(self):
+        self.assert_reverse_matches_online([
+            B.if_(B.eq(1, 2), [B.skip()], [B.assert_(0, "x")]),
+        ])
+
+    def test_for_loop_count_from_induction_var(self):
+        self.assert_reverse_matches_online([
+            B.for_("i", 0, 10, [
+                B.if_(B.eq(B.v("i"), 6), [B.assert_(0, "x")]),
+            ]),
+        ])
+
+    def test_for_loop_with_start_and_step(self):
+        self.assert_reverse_matches_online([
+            B.for_("i", 4, 20, [
+                B.if_(B.eq(B.v("i"), 10), [B.assert_(0, "x")]),
+            ], step=2),
+        ])
+
+    def test_while_loop_count_from_counter(self):
+        self.assert_reverse_matches_online([
+            B.assign("n", 0),
+            B.while_(B.lt(B.v("n"), 7), [
+                B.assign("n", B.add(B.v("n"), 1)),
+                B.if_(B.eq(B.v("n"), 5), [B.assert_(0, "x")]),
+            ]),
+        ])
+
+    def test_nested_loops(self):
+        self.assert_reverse_matches_online([
+            B.for_("i", 0, 3, [
+                B.assign("m", 0),
+                B.while_(B.lt(B.v("m"), 4), [
+                    B.assign("m", B.add(B.v("m"), 1)),
+                    B.if_(B.and_(B.eq(B.v("i"), 2), B.eq(B.v("m"), 3)),
+                          [B.assert_(0, "x")]),
+                ]),
+            ]),
+        ])
+
+    def test_through_calls_in_loops(self):
+        callee = B.func("callee", ["k"], [
+            B.if_(B.gt(B.v("k"), 3), [B.assert_(0, "x")]),
+        ])
+        self.assert_reverse_matches_online([
+            B.for_("i", 0, 6, [B.call("callee", [B.v("i")])]),
+        ], functions=[callee])
+
+    def test_recursion_distinct_frames(self):
+        rec = B.func("rec", ["n"], [
+            B.if_(B.le(B.v("n"), 0), [B.assert_(0, "x")]),
+            B.call("rec", [B.sub(B.v("n"), 1)]),
+        ])
+        idx = self.assert_reverse_matches_online(
+            [B.call("rec", [3])], functions=[rec])
+        methods = [e for e in idx if isinstance(e, MethodEntry)]
+        assert len(methods) == 4  # rec(3) rec(2) rec(1) rec(0)
+
+    def test_uninstrumented_while_fails_loudly(self):
+        ex, res, sa = run_to_failure([
+            B.assign("n", 0),
+            B.while_(B.lt(B.v("n"), 3), [
+                B.assign("n", B.add(B.v("n"), 1)),
+                B.if_(B.eq(B.v("n"), 2), [B.assert_(0, "x")]),
+            ]),
+        ], instrument=False)
+        dump = take_core_dump(ex, "failure")
+        with pytest.raises(IndexingError):
+            reverse_engineer_index(dump, sa)
+
+    def test_probe_points_match_online(self, nested_bundle):
+        """Reverse engineering agrees with online EI at arbitrary points."""
+        from repro.runtime.events import StopExecution
+
+        bundle = nested_bundle
+        # find the run length
+        ex = bundle.execution(DeterministicScheduler())
+        total = ex.run().steps
+        for probe_at in range(1, total, 7):
+            class Stopper:
+                def __init__(self, at):
+                    self.at = at
+
+                def on_after_step(self, execution, effects):
+                    if execution.step_count >= self.at:
+                        raise StopExecution("probe")
+
+            ex = bundle.execution(DeterministicScheduler(),
+                                  hooks=[Stopper(probe_at)])
+            ex.run()
+            thread = ex.threads["main"]
+            if not thread.is_live():
+                continue
+            online = current_index(ex, "main")
+            dump = probe_dump(ex, "main")
+            assert reverse_engineer_index(dump, bundle.analysis) == online
+
+
+class TestAlignment:
+    def _align(self, bundle_body, index, globals_=None, functions=()):
+        prog = B.program("t", globals_=globals_ or {},
+                         functions=[B.func("main", [], bundle_body)]
+                         + list(functions),
+                         threads=[B.thread("t0", "main")])
+        compiled = lower_program(prog)
+        sa = StaticAnalysis(compiled)
+        hook = AlignmentHook(index, sa)
+        ex = Execution(compiled, sa, DeterministicScheduler(), hooks=[hook])
+        ex.run()
+        return hook.result
+
+    def test_exact_self_alignment(self):
+        body = [
+            B.for_("i", 0, 4, [
+                B.if_(B.eq(B.v("i"), 2), [B.assign("hit", 1)]),
+            ]),
+        ]
+        ex, res, sa = run_to_failure(
+            body[:-0] + [], globals_={"hit": 0}) if False else (None,) * 3
+        # build an index by crashing a twin program at the target point
+        crash_body = [
+            B.for_("i", 0, 4, [
+                B.if_(B.eq(B.v("i"), 2), [B.assert_(0, "x")]),
+            ]),
+        ]
+        ex, res, sa = run_to_failure(crash_body)
+        index = current_index(ex, "t0")
+        # replace the failing assert with a benign statement in the twin:
+        # the same program aligns exactly on itself
+        result = self._align(crash_body, index)
+        assert result is not None
+        # the aligned run executes the same crash (assert) - exact point
+        assert result.status == AlignmentStatus.EXACT
+        assert result.pc == index.leaf.pc
+
+    def test_closest_on_flipped_branch(self):
+        # failing run: flag true branch; passing run: flag false
+        crash_body = [
+            B.if_(B.v("flag"), [B.assert_(0, "x")]),
+            B.assign("done", 1),
+        ]
+        ex, res, sa = run_to_failure(crash_body, globals_={"flag": 1,
+                                                           "done": 0})
+        index = current_index(ex, "t0")
+        result = self._align(crash_body, index,
+                             globals_={"flag": 0, "done": 0})
+        assert result.status == AlignmentStatus.CLOSEST
+        assert result.diverged_at is not None
+        assert result.outcome is False
+        # the criterion names the predicate's read of `flag`
+        assert ("global", "flag") in result.criterion_locs
+
+    def test_closest_in_correct_loop_iteration(self):
+        crash_body = [
+            B.for_("i", 0, 6, [
+                B.if_(B.eq(B.v("i"), B.v("k")), [B.assert_(0, "x")]),
+            ]),
+        ]
+        ex, res, sa = run_to_failure(crash_body, globals_={"k": 4})
+        index = current_index(ex, "t0")
+        result = self._align(crash_body, index, globals_={"k": 99})
+        assert result.status == AlignmentStatus.CLOSEST
+        # divergence detected at the if inside iteration 5 (i == 4)
+        ex2_steps_iter = result.step
+        assert result.outcome is False
+
+    def test_thread_exit_fallback(self):
+        crash_body = [
+            B.if_(B.v("flag"), [
+                B.if_(B.v("deep"), [B.assert_(0, "x")]),
+            ]),
+        ]
+        ex, res, sa = run_to_failure(crash_body,
+                                     globals_={"flag": 1, "deep": 1})
+        index = current_index(ex, "t0")
+        # in the twin, flag goes false: condition 2 fires at the outer if
+        result = self._align(crash_body, index,
+                             globals_={"flag": 0, "deep": 0})
+        assert result.status == AlignmentStatus.CLOSEST

@@ -1,0 +1,143 @@
+"""Builder lifting and AST helpers."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang import builder as B
+
+
+class TestLifting:
+    def test_int_lifts_to_const(self):
+        assert B.lift(3) == ast.Const(3)
+
+    def test_expr_passes_through(self):
+        expr = B.v("x")
+        assert B.lift(expr) is expr
+
+    def test_none_lifts_to_null(self):
+        assert B.lift(None) == ast.Null()
+
+    def test_bad_value_raises(self):
+        with pytest.raises(TypeError):
+            B.lift(object())
+
+    def test_string_target_becomes_var(self):
+        stmt = B.assign("x", 1)
+        assert stmt.target == ast.Var("x")
+
+    def test_field_target_is_lvalue(self):
+        stmt = B.assign(B.field(B.v("p"), "f"), 1)
+        assert isinstance(stmt.target, ast.Field)
+
+    def test_non_lvalue_target_rejected(self):
+        with pytest.raises(TypeError):
+            B.assign(B.add(1, 2), 3)
+
+    def test_const_target_rejected(self):
+        with pytest.raises(TypeError):
+            B.lift_lvalue(ast.Const(1))
+
+
+class TestExpressionBuilders:
+    def test_binary_ops_build_bin_nodes(self):
+        expr = B.add(B.v("a"), 1)
+        assert expr == ast.Bin("+", ast.Var("a"), ast.Const(1))
+
+    def test_comparison(self):
+        assert B.lt("x", 3) != B.lt(3, "x")  # strings lift to Const here
+        assert B.lt(B.v("x"), 3).op == "<"
+
+    def test_not(self):
+        expr = B.not_(B.v("x"))
+        assert expr == ast.Un("not", ast.Var("x"))
+
+    def test_alloc_struct_orders_fields(self):
+        expr = B.alloc_struct(a=1, b=2)
+        assert [name for name, _ in expr.fields] == ["a", "b"]
+
+    def test_alloc_array_elements(self):
+        expr = B.alloc_array(elements=[1, 2])
+        assert expr.elements == (ast.Const(1), ast.Const(2))
+
+    def test_alloc_array_size_fill(self):
+        expr = B.alloc_array(size=4, fill=0)
+        assert expr.size == ast.Const(4)
+        assert expr.fill == ast.Const(0)
+
+    def test_index_and_field_nesting(self):
+        expr = B.index(B.field(B.v("c"), "items"), 2)
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Field)
+
+
+class TestStatementHelpers:
+    def test_walk_statements_recurses(self):
+        body = [
+            B.if_(B.v("c"), [B.assign("x", 1)], [B.assign("y", 2)]),
+            B.while_(B.v("c"), [B.assign("z", 3)]),
+        ]
+        kinds = [type(s).__name__ for s in ast.walk_statements(body)]
+        assert kinds == ["If", "Assign", "Assign", "While", "Assign"]
+
+    def test_assign_lines_sequential(self):
+        body = [B.assign("x", 1), B.if_(B.v("x"), [B.assign("y", 2)])]
+        ast.assign_lines(body)
+        assert body[0].line == 1
+        assert body[1].line == 2
+        assert body[1].then[0].line == 3
+
+    def test_assign_lines_respects_existing(self):
+        body = [B.assign("x", 1, line=10), B.assign("y", 2)]
+        ast.assign_lines(body)
+        assert body[0].line == 10
+        assert body[1].line == 11
+
+    def test_is_lvalue(self):
+        assert ast.is_lvalue(B.v("x"))
+        assert ast.is_lvalue(B.field(B.v("p"), "f"))
+        assert ast.is_lvalue(B.index(B.v("a"), 0))
+        assert not ast.is_lvalue(B.add(1, 2))
+        assert not ast.is_lvalue(ast.Const(1))
+
+
+class TestProgramValidation:
+    def _program(self, **kw):
+        defaults = dict(
+            globals_={"g": 0},
+            functions=[B.func("main", [], [B.assign("g", 1)])],
+            threads=[B.thread("t", "main")],
+        )
+        defaults.update(kw)
+        return B.program("p", **defaults)
+
+    def test_valid_program_builds(self):
+        assert self._program().name == "p"
+
+    def test_unknown_thread_function_rejected(self):
+        from repro.lang.errors import LoweringError
+        with pytest.raises(LoweringError):
+            self._program(threads=[B.thread("t", "nope")])
+
+    def test_duplicate_thread_names_rejected(self):
+        from repro.lang.errors import LoweringError
+        with pytest.raises(LoweringError):
+            self._program(threads=[B.thread("t", "main"),
+                                   B.thread("t", "main")])
+
+    def test_unknown_callee_rejected(self):
+        from repro.lang.errors import LoweringError
+        with pytest.raises(LoweringError):
+            self._program(functions=[
+                B.func("main", [], [B.call("ghost")])])
+
+    def test_undeclared_lock_rejected(self):
+        from repro.lang.errors import LoweringError
+        with pytest.raises(LoweringError):
+            self._program(functions=[
+                B.func("main", [], [B.acquire("nolock")])])
+
+    def test_duplicate_function_rejected(self):
+        from repro.lang.errors import LoweringError
+        with pytest.raises(LoweringError):
+            B.program("p", functions=[
+                B.func("f", [], []), B.func("f", [], [])])

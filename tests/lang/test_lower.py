@@ -1,0 +1,211 @@
+"""Lowering: AST to flat IR."""
+
+import pytest
+
+from repro.lang import builder as B
+from repro.lang.errors import LoweringError
+from repro.lang.lower import Opcode, lower_program
+
+
+def compile_body(body, name="main"):
+    prog = B.program("t", functions=[B.func(name, [], body)],
+                     threads=[B.thread("t0", name)])
+    return lower_program(prog)
+
+
+def ops(compiled, func="main"):
+    fc = compiled.func_code(func)
+    return [compiled.instr(pc).op for pc in fc.pcs()]
+
+
+class TestStraightLine:
+    def test_assign_sequence(self):
+        compiled = compile_body([B.assign("x", 1), B.assign("y", 2)])
+        assert ops(compiled) == [Opcode.ASSIGN, Opcode.ASSIGN, Opcode.RETURN]
+
+    def test_terminal_return_added(self):
+        compiled = compile_body([])
+        assert ops(compiled) == [Opcode.RETURN]
+
+    def test_explicit_return_kept(self):
+        compiled = compile_body([B.ret(1)])
+        assert ops(compiled) == [Opcode.RETURN, Opcode.RETURN]
+
+    def test_global_pcs_are_contiguous_and_unique(self):
+        prog = B.program("t", functions=[
+            B.func("a", [], [B.assign("x", 1)]),
+            B.func("b", [], [B.assign("y", 2)]),
+        ], threads=[B.thread("t0", "a")])
+        compiled = lower_program(prog)
+        pcs = [i.pc for i in compiled.instrs]
+        assert pcs == list(range(len(compiled)))
+        assert compiled.func_of(0) == "a"
+        assert compiled.func_of(compiled.func_code("b").entry_pc) == "b"
+
+
+class TestIf:
+    def test_if_targets(self):
+        compiled = compile_body([
+            B.if_(B.v("c"), [B.assign("x", 1)], [B.assign("y", 2)]),
+        ])
+        branch = compiled.instr(0)
+        assert branch.op is Opcode.BRANCH
+        then_instr = compiled.instr(branch.t_target)
+        assert then_instr.op is Opcode.ASSIGN
+        else_instr = compiled.instr(branch.f_target)
+        assert else_instr.op is Opcode.ASSIGN
+        # then-block jumps over the else to the join
+        jump = compiled.instr(branch.t_target + 1)
+        assert jump.op is Opcode.JUMP
+        assert compiled.instr(jump.jump_target).op is Opcode.NOP
+
+    def test_if_without_else_false_edge_hits_join(self):
+        compiled = compile_body([B.if_(B.v("c"), [B.assign("x", 1)])])
+        branch = compiled.instr(0)
+        assert compiled.instr(branch.f_target).note == "join"
+
+    def test_or_chain_cascade(self):
+        compiled = compile_body([
+            B.if_(B.or_(B.v("a"), B.v("b")), [B.assign("x", 1)]),
+        ])
+        b1, b2 = compiled.instr(0), compiled.instr(1)
+        assert b1.op is Opcode.BRANCH and b2.op is Opcode.BRANCH
+        # both true edges reach the then-block; b1's false edge falls to b2
+        assert b1.t_target == b2.t_target
+        assert b1.f_target == b2.pc
+
+    def test_and_chain_cascade(self):
+        compiled = compile_body([
+            B.if_(B.and_(B.v("a"), B.v("b")), [B.assign("x", 1)]),
+        ])
+        b1, b2 = compiled.instr(0), compiled.instr(1)
+        assert b1.t_target == b2.pc
+        assert b1.f_target == b2.f_target
+
+    def test_three_way_or_chain(self):
+        compiled = compile_body([
+            B.if_(B.or_(B.or_(B.v("a"), B.v("b")), B.v("c")),
+                  [B.assign("x", 1)]),
+        ])
+        branches = [compiled.instr(pc) for pc in range(3)]
+        assert all(b.op is Opcode.BRANCH for b in branches)
+        assert len({b.t_target for b in branches}) == 1
+
+
+class TestLoops:
+    def test_while_shape(self):
+        compiled = compile_body([B.while_(B.v("c"), [B.assign("x", 1)])])
+        header = compiled.instr(0)
+        assert header.is_loop and header.counter_var is None
+        assert header.t_target == 1
+        back = compiled.instr(2)
+        assert back.op is Opcode.JUMP and back.jump_target == 0
+        assert compiled.instr(header.f_target).note.startswith("loop-exit")
+
+    def test_for_shape_and_counter_metadata(self):
+        compiled = compile_body([B.for_("i", 0, 5, [B.assign("x", 1)])])
+        init = compiled.instr(0)
+        assert init.op is Opcode.ASSIGN
+        header = compiled.instr(1)
+        assert header.is_loop and header.counter_var == "i"
+        assert header.counter_start.value == 0
+        assert header.counter_step.value == 1
+
+    def test_loop_ids_unique_across_functions(self):
+        prog = B.program("t", functions=[
+            B.func("a", [], [B.while_(B.v("c"), [])]),
+            B.func("b", [], [B.while_(B.v("c"), []),
+                             B.for_("i", 0, 2, [])]),
+        ], threads=[B.thread("t0", "a")])
+        compiled = lower_program(prog)
+        assert len(compiled.loop_headers) == 3
+        assert len(set(compiled.loop_headers.values())) == 3
+
+    def test_break_jumps_to_loop_exit(self):
+        compiled = compile_body([
+            B.while_(B.v("c"), [B.break_()]),
+        ])
+        header = compiled.instr(0)
+        brk = compiled.instr(1)
+        assert brk.op is Opcode.JUMP
+        assert brk.jump_target == header.f_target
+
+    def test_continue_in_for_jumps_to_increment(self):
+        compiled = compile_body([
+            B.for_("i", 0, 3, [
+                B.if_(B.v("c"), [B.continue_()]),
+                B.assign("x", 1),
+            ]),
+        ])
+        fc = compiled.func_code("main")
+        jumps = [compiled.instr(pc) for pc in fc.pcs()
+                 if compiled.instr(pc).op is Opcode.JUMP]
+        incr_pc = jumps[0].jump_target
+        incr = compiled.instr(incr_pc)
+        assert incr.op is Opcode.ASSIGN
+        assert incr.target.name == "i"
+
+    def test_continue_in_while_jumps_to_header(self):
+        compiled = compile_body([
+            B.while_(B.v("c"), [B.continue_()]),
+        ])
+        cont = compiled.instr(1)
+        assert cont.jump_target == 0
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_body([B.break_()])
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_body([B.continue_()])
+
+
+class TestGoto:
+    def test_goto_resolves_to_label(self):
+        compiled = compile_body([
+            B.goto("end"),
+            B.assign("x", 1),
+            B.label("end"),
+        ])
+        jump = compiled.instr(0)
+        target = compiled.instr(jump.jump_target)
+        assert target.op is Opcode.NOP and target.note == "label:end"
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_body([B.goto("nowhere")])
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_body([B.label("l"), B.label("l")])
+
+
+class TestMiscStatements:
+    def test_sync_ops(self):
+        prog = B.program("t", functions=[
+            B.func("main", [], [B.acquire("l"), B.release("l")])],
+            threads=[B.thread("t0", "main")], locks=["l"])
+        compiled = lower_program(prog)
+        assert ops(compiled)[:2] == [Opcode.ACQUIRE, Opcode.RELEASE]
+        assert compiled.instr(0).lock == "l"
+
+    def test_call_with_target(self):
+        prog = B.program("t", functions=[
+            B.func("f", ["a"], [B.ret(B.v("a"))]),
+            B.func("main", [], [B.call("f", [1], target="r")]),
+        ], threads=[B.thread("t0", "main")])
+        compiled = lower_program(prog)
+        call = compiled.instr(compiled.func_code("main").entry_pc)
+        assert call.op is Opcode.CALL and call.callee == "f"
+        assert call.target.name == "r"
+
+    def test_assert_output_skip(self):
+        compiled = compile_body([
+            B.assert_(B.v("x"), "boom"), B.output(B.v("x")), B.skip()])
+        assert ops(compiled)[:3] == [Opcode.ASSERT, Opcode.OUTPUT, Opcode.NOP]
+
+    def test_labels_in_pretty_output(self):
+        compiled = compile_body([B.assign("x", 1)])
+        text = compiled.pretty()
+        assert "func main" in text and "x=1" in text

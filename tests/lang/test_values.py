@@ -1,0 +1,63 @@
+"""Runtime value semantics."""
+
+import pytest
+
+from repro.lang.values import (
+    NULL,
+    Pointer,
+    check_value,
+    comparable_form,
+    is_pointer,
+    is_primitive,
+)
+
+
+class TestPointer:
+    def test_null_identity(self):
+        assert NULL.is_null
+        assert Pointer(None) == NULL
+
+    def test_non_null(self):
+        p = Pointer(3)
+        assert not p.is_null
+        assert p.obj_id == 3
+
+    def test_equality_by_obj_id(self):
+        assert Pointer(1) == Pointer(1)
+        assert Pointer(1) != Pointer(2)
+
+    def test_hashable(self):
+        assert len({Pointer(1), Pointer(1), Pointer(2)}) == 2
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"
+        assert "7" in repr(Pointer(7))
+
+
+class TestClassification:
+    def test_primitives(self):
+        for value in (1, True, 1.5, "s"):
+            assert is_primitive(value)
+
+    def test_pointer_is_not_primitive(self):
+        assert not is_primitive(NULL)
+        assert is_pointer(NULL)
+
+    def test_comparable_form_collapses_pointers(self):
+        assert comparable_form(NULL) == "NULL"
+        assert comparable_form(Pointer(5)) == "non-NULL"
+        assert comparable_form(Pointer(9)) == comparable_form(Pointer(3))
+
+    def test_comparable_form_identity_on_primitives(self):
+        assert comparable_form(42) == 42
+        assert comparable_form("x") == "x"
+
+    def test_check_value_accepts_valid(self):
+        for value in (1, True, 0.5, "s", NULL, Pointer(1), None):
+            check_value(value)
+
+    def test_check_value_rejects_containers(self):
+        with pytest.raises(TypeError):
+            check_value([1, 2])
+        with pytest.raises(TypeError):
+            check_value({"a": 1})

@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The central property is the paper's correctness claim for Algorithm 1:
+for programs whose statements have unambiguous control dependences, the
+index reverse engineered from a dump equals the online execution index —
+at *every* execution point, for *arbitrary* generated programs.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import StaticAnalysis
+from repro.coredump import compare_dumps, dump_from_json, dump_to_json, \
+    take_core_dump
+from repro.indexing import current_index, reverse_engineer_index
+from repro.lang import builder as B
+from repro.lang.lower import lower_program
+from repro.runtime import (
+    DeterministicScheduler,
+    Execution,
+    MulticoreScheduler,
+    restore_checkpoint,
+    take_checkpoint,
+)
+from repro.runtime.events import StopExecution
+
+from tests.conftest import probe_dump
+
+# ---------------------------------------------------------------------------
+# random structured program generation
+# ---------------------------------------------------------------------------
+
+GLOBALS = ["g0", "g1", "g2"]
+
+
+def expr_strategy():
+    leaf = st.one_of(
+        st.integers(min_value=0, max_value=9).map(B.c),
+        st.sampled_from(GLOBALS).map(B.v),
+    )
+    return st.recursive(
+        leaf,
+        lambda inner: st.builds(
+            lambda op, a, b: getattr(B, op)(a, b),
+            st.sampled_from(["add", "sub", "mul"]), inner, inner),
+        max_leaves=4)
+
+
+def stmt_strategy(depth):
+    assign = st.builds(B.assign, st.sampled_from(GLOBALS), expr_strategy())
+    if depth <= 0:
+        return assign
+    sub_body = st.lists(stmt_strategy(depth - 1), min_size=1, max_size=3)
+    cond = st.builds(
+        lambda left, k: B.lt(left, k),
+        st.sampled_from(GLOBALS).map(B.v),
+        st.integers(min_value=0, max_value=9).map(B.c))
+    if_stmt = st.builds(B.if_, cond, sub_body,
+                        st.lists(stmt_strategy(depth - 1), max_size=2))
+    # One induction variable per nesting depth: reusing the induction
+    # variable of a live outer loop destroys its count recovery, a
+    # documented limitation shared with compiled C (DESIGN.md).
+    for_stmt = st.builds(
+        lambda stop, body: B.for_("i%d" % depth, 0, stop, body),
+        st.integers(min_value=1, max_value=4),
+        sub_body)
+    return st.one_of(assign, if_stmt, for_stmt)
+
+
+program_bodies = st.lists(stmt_strategy(2), min_size=1, max_size=5)
+
+
+def build_program(body):
+    prog = B.program("gen", globals_={name: 1 for name in GLOBALS},
+                     functions=[B.func("main", [], body)],
+                     threads=[B.thread("t0", "main")])
+    return prog
+
+
+class _StopAt:
+    def __init__(self, at):
+        self.at = at
+
+    def on_after_step(self, execution, effects):
+        if execution.step_count >= self.at:
+            raise StopExecution("probe")
+
+
+@settings(max_examples=60, deadline=None)
+@given(body=program_bodies, fraction=st.floats(min_value=0.0, max_value=1.0))
+def test_reverse_engineered_index_matches_online(body, fraction):
+    """Algorithm 1 == online EI at arbitrary points of random programs."""
+    prog = build_program(body)
+    compiled = lower_program(prog)
+    sa = StaticAnalysis(compiled)
+    full = Execution(compiled, sa, DeterministicScheduler(),
+                     max_steps=50_000)
+    total = full.run().steps
+    probe_at = max(1, int(total * fraction))
+    ex = Execution(compiled, sa, DeterministicScheduler(),
+                   hooks=[_StopAt(probe_at)], max_steps=50_000)
+    ex.run()
+    thread = ex.threads["t0"]
+    if not thread.is_live():
+        return
+    online = current_index(ex, "t0")
+    dump = probe_dump(ex, "t0")
+    assert reverse_engineer_index(dump, sa) == online
+
+
+@settings(max_examples=40, deadline=None)
+@given(body=program_bodies, seed=st.integers(min_value=0, max_value=10_000))
+def test_scheduler_determinism(body, seed):
+    """Same program + same seed -> byte-identical final state."""
+    def run():
+        prog = build_program(body)
+        compiled = lower_program(prog)
+        sa = StaticAnalysis(compiled)
+        ex = Execution(compiled, sa, MulticoreScheduler(seed=seed),
+                       max_steps=50_000)
+        ex.run()
+        return dict(ex.globals), ex.step_count
+
+    assert run() == run()
+
+
+@settings(max_examples=40, deadline=None)
+@given(body=program_bodies,
+       cut=st.floats(min_value=0.1, max_value=0.9))
+def test_checkpoint_restore_continuation(body, cut):
+    """Restoring a checkpoint replays to the identical final state."""
+    prog = build_program(body)
+    compiled = lower_program(prog)
+    sa = StaticAnalysis(compiled)
+    ex = Execution(compiled, sa, DeterministicScheduler(), max_steps=50_000)
+    total = ex.run().steps
+    final_state = dict(ex.globals)
+
+    ex2 = Execution(compiled, sa, DeterministicScheduler(),
+                    max_steps=50_000)
+    stop_at = max(1, int(total * cut))
+    for _ in range(stop_at):
+        runnable = ex2.runnable_threads()
+        if not runnable:
+            break
+        ex2.step(runnable[0])
+    cp = take_checkpoint(ex2)
+    # perturb: run to completion once
+    while ex2.runnable_threads():
+        ex2.step(ex2.runnable_threads()[0])
+    # restore and run again
+    restore_checkpoint(ex2, cp)
+    while ex2.runnable_threads():
+        ex2.step(ex2.runnable_threads()[0])
+    assert ex2.globals == final_state
+
+
+@settings(max_examples=40, deadline=None)
+@given(body=program_bodies, fraction=st.floats(min_value=0.0, max_value=1.0))
+def test_dump_self_comparison_is_empty(body, fraction):
+    """A dump diffed against itself (round-tripped) has no differences."""
+    prog = build_program(body)
+    compiled = lower_program(prog)
+    sa = StaticAnalysis(compiled)
+    full = Execution(compiled, sa, DeterministicScheduler(),
+                     max_steps=50_000)
+    total = full.run().steps
+    probe_at = max(1, int(total * fraction))
+    ex = Execution(compiled, sa, DeterministicScheduler(),
+                   hooks=[_StopAt(probe_at)], max_steps=50_000)
+    ex.run()
+    dump = take_core_dump(ex, "aligned", failing_thread="t0")
+    clone = dump_from_json(dump_to_json(dump))
+    comparison = compare_dumps(
+        _with_probe_failure(dump), _with_probe_failure(clone))
+    assert comparison.differences == []
+
+
+def _with_probe_failure(dump):
+    from repro.runtime.events import Failure
+
+    thread = dump.threads[dump.failing_thread]
+    if thread.frames:
+        dump.failure = Failure(kind="probe", pc=thread.frames[-1].pc,
+                               thread=dump.failing_thread, message="probe")
+    return dump
+
+
+@settings(max_examples=30, deadline=None)
+@given(body=program_bodies)
+def test_identical_schedules_produce_equal_indices(body):
+    """Two deterministic runs align exactly: index equality is stable."""
+    prog = build_program(body)
+    compiled = lower_program(prog)
+    sa = StaticAnalysis(compiled)
+
+    def final_steps():
+        ex = Execution(compiled, sa, DeterministicScheduler(),
+                       max_steps=50_000)
+        ex.run()
+        return ex.step_count
+
+    assert final_steps() == final_steps()

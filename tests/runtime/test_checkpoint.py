@@ -1,0 +1,89 @@
+"""Checkpoint / restore of execution state."""
+
+from repro.analysis import StaticAnalysis
+from repro.lang import builder as B
+from repro.lang.lower import lower_program
+from repro.runtime import (
+    DeterministicScheduler,
+    Execution,
+    restore_checkpoint,
+    take_checkpoint,
+)
+
+
+def make_execution():
+    prog = B.program(
+        "t",
+        globals_={"g": 0, "arr": [1, 2, 3], "obj": {"f": 5}},
+        functions=[B.func("main", [], [
+            B.for_("i", 0, 10, [
+                B.assign("g", B.add(B.v("g"), B.v("i"))),
+                B.assign(B.index(B.v("arr"), 0),
+                         B.add(B.index(B.v("arr"), 0), 1)),
+                B.assign(B.field(B.v("obj"), "f"),
+                         B.add(B.field(B.v("obj"), "f"), 2)),
+            ]),
+            B.output(B.v("g")),
+        ])],
+        threads=[B.thread("t0", "main")])
+    compiled = lower_program(prog)
+    return Execution(compiled, StaticAnalysis(compiled),
+                     DeterministicScheduler())
+
+
+def state_fingerprint(ex):
+    heap = {oid: (obj.fields if hasattr(obj, "fields") else obj.elements)
+            for oid, obj in ex.heap.objects()}
+    frames = [(f.func, f.pc, dict(f.locals), len(f.region_stack))
+              for f in ex.threads["t0"].frames]
+    return (dict(ex.globals), repr(heap), frames, ex.step_count)
+
+
+class TestCheckpoint:
+    def test_restore_returns_to_snapshot(self):
+        ex = make_execution()
+        for _ in range(12):
+            ex.step("t0")
+        cp = take_checkpoint(ex)
+        before = state_fingerprint(ex)
+        for _ in range(15):
+            ex.step("t0")
+        assert state_fingerprint(ex) != before
+        restore_checkpoint(ex, cp)
+        assert state_fingerprint(ex) == before
+
+    def test_continuation_after_restore_identical(self):
+        ex = make_execution()
+        for _ in range(10):
+            ex.step("t0")
+        cp = take_checkpoint(ex)
+        ex.run()
+        first_output = list(ex.output)
+        restore_checkpoint(ex, cp)
+        ex.status = "running"
+        ex.run()
+        assert ex.output == first_output
+
+    def test_checkpoint_isolates_heap_mutation(self):
+        ex = make_execution()
+        for _ in range(5):
+            ex.step("t0")
+        cp = take_checkpoint(ex)
+        snapshot_arr = list(cp.heap.get(1).elements)
+        for _ in range(10):
+            ex.step("t0")
+        # the live heap changed; the checkpoint's copy did not
+        assert list(cp.heap.get(1).elements) == snapshot_arr
+
+    def test_scheduler_state_carried(self):
+        ex = make_execution()
+        cp = take_checkpoint(ex, scheduler_state={"pos": 3})
+        assert cp.scheduler_state == {"pos": 3}
+
+    def test_restore_clears_failure_fields(self):
+        ex = make_execution()
+        cp = take_checkpoint(ex)
+        ex.run()
+        restore_checkpoint(ex, cp)
+        assert ex.failure is None
+        assert ex.stop_reason is None

@@ -1,0 +1,247 @@
+"""Interpreter semantics: evaluation, control flow, faults."""
+
+import pytest
+
+from repro.analysis import StaticAnalysis
+from repro.lang import builder as B
+from repro.lang.errors import InterpreterError
+from repro.lang.lower import lower_program
+from repro.lang.values import NULL, Pointer
+from repro.runtime import DeterministicScheduler, Execution, ExecutionStatus
+
+
+def run_main(body, globals_=None, locks=(), inputs=(), overrides=None,
+             functions=(), max_steps=100_000):
+    prog = B.program("t", globals_=globals_ or {},
+                     functions=[B.func("main", [], body)] + list(functions),
+                     threads=[B.thread("t0", "main")], locks=locks,
+                     inputs=inputs)
+    compiled = lower_program(prog)
+    execution = Execution(compiled, StaticAnalysis(compiled),
+                          DeterministicScheduler(),
+                          input_overrides=overrides, max_steps=max_steps)
+    result = execution.run()
+    return execution, result
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        ex, res = run_main([
+            B.assign("a", B.add(2, 3)),
+            B.assign("b", B.sub(B.v("a"), 1)),
+            B.assign("c", B.mul(B.v("b"), B.v("b"))),
+            B.assign("d", B.div(B.v("c"), 2)),
+            B.assign("e", B.mod(B.v("c"), 7)),
+            B.output(B.v("d")), B.output(B.v("e")),
+        ])
+        assert res.completed
+        assert [v for _, v in res.output] == [8, 2]
+
+    def test_comparisons_and_logic(self):
+        ex, res = run_main([
+            B.output(B.lt(1, 2)), B.output(B.ge(2, 2)),
+            B.output(B.and_(1, 0)), B.output(B.or_(0, 5)),
+            B.output(B.not_(0)),
+        ])
+        assert [v for _, v in res.output] == [True, True, False, True, True]
+
+    def test_division_truncates_like_int(self):
+        ex, res = run_main([B.output(B.div(7, 2))])
+        assert res.output[0][1] == 3
+
+    def test_div_by_zero_faults(self):
+        ex, res = run_main([B.assign("x", B.div(1, 0))])
+        assert res.failed and res.failure.kind == "div-by-zero"
+
+    def test_mod_by_zero_faults(self):
+        ex, res = run_main([B.assign("x", B.mod(1, 0))])
+        assert res.failed and res.failure.kind == "div-by-zero"
+
+
+class TestVariables:
+    def test_locals_shadow_and_globals_update(self):
+        ex, res = run_main([
+            B.assign("g", 5),          # global write
+            B.assign("loc", 1),        # creates a local
+            B.output(B.v("g")), B.output(B.v("loc")),
+        ], globals_={"g": 0})
+        assert ex.globals["g"] == 5
+        assert [v for _, v in res.output] == [5, 1]
+
+    def test_undefined_variable_is_interpreter_error(self):
+        with pytest.raises(InterpreterError):
+            run_main([B.output(B.v("ghost"))])
+
+    def test_input_overrides_apply(self):
+        ex, res = run_main([B.output(B.v("inp"))], globals_={"inp": 1},
+                           inputs=("inp",), overrides={"inp": 9})
+        assert res.output[0][1] == 9
+
+    def test_override_of_non_input_rejected(self):
+        with pytest.raises(InterpreterError):
+            run_main([], globals_={"x": 1}, overrides={"x": 2})
+
+
+class TestHeap:
+    def test_struct_alloc_and_field_access(self):
+        ex, res = run_main([
+            B.assign("p", B.alloc_struct(a=1, b=2)),
+            B.assign(B.field(B.v("p"), "a"), 10),
+            B.output(B.field(B.v("p"), "a")),
+            B.output(B.field(B.v("p"), "b")),
+        ])
+        assert [v for _, v in res.output] == [10, 2]
+
+    def test_array_global_initializer(self):
+        ex, res = run_main([
+            B.output(B.index(B.v("arr"), 1)),
+        ], globals_={"arr": [4, 5, 6]})
+        assert res.output[0][1] == 5
+        assert isinstance(ex.globals["arr"], Pointer)
+
+    def test_nested_initializer(self):
+        ex, res = run_main([
+            B.output(B.field(B.index(B.v("objs"), 0), "v")),
+        ], globals_={"objs": [{"v": 42}]})
+        assert res.output[0][1] == 42
+
+    def test_null_deref_faults(self):
+        ex, res = run_main([
+            B.assign("p", B.null()),
+            B.assign("x", B.field(B.v("p"), "f")),
+        ])
+        assert res.failed and res.failure.kind == "null-deref"
+        assert res.failure.pc == 1
+
+    def test_out_of_bounds_faults(self):
+        ex, res = run_main([
+            B.assign("x", B.index(B.v("arr"), 7)),
+        ], globals_={"arr": [1, 2]})
+        assert res.failed and res.failure.kind == "out-of-bounds"
+
+    def test_negative_index_faults(self):
+        ex, res = run_main([
+            B.assign("x", B.index(B.v("arr"), B.sub(0, 1))),
+        ], globals_={"arr": [1, 2]})
+        assert res.failed and res.failure.kind == "out-of-bounds"
+
+    def test_array_alloc_with_fill(self):
+        ex, res = run_main([
+            B.assign("a", B.alloc_array(size=3, fill=7)),
+            B.output(B.index(B.v("a"), 2)),
+        ])
+        assert res.output[0][1] == 7
+
+    def test_pointer_equality_in_program(self):
+        ex, res = run_main([
+            B.assign("p", B.alloc_struct(v=1)),
+            B.assign("q", B.v("p")),
+            B.output(B.eq(B.v("p"), B.v("q"))),
+            B.output(B.eq(B.v("p"), B.null())),
+        ])
+        assert [v for _, v in res.output] == [True, False]
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        ex, res = run_main([
+            B.if_(B.gt(2, 1), [B.output(1)], [B.output(2)]),
+        ])
+        assert res.output[0][1] == 1
+
+    def test_while_loop_runs_to_fixpoint(self):
+        ex, res = run_main([
+            B.assign("n", 0),
+            B.while_(B.lt(B.v("n"), 5), [B.assign("n", B.add(B.v("n"), 1))]),
+            B.output(B.v("n")),
+        ])
+        assert res.output[0][1] == 5
+
+    def test_for_loop_bounds(self):
+        ex, res = run_main([
+            B.assign("s", 0),
+            B.for_("i", 1, 4, [B.assign("s", B.add(B.v("s"), B.v("i")))]),
+            B.output(B.v("s")),
+        ])
+        assert res.output[0][1] == 6
+
+    def test_break_exits_early(self):
+        ex, res = run_main([
+            B.assign("n", 0),
+            B.while_(1, [
+                B.assign("n", B.add(B.v("n"), 1)),
+                B.if_(B.ge(B.v("n"), 3), [B.break_()]),
+            ]),
+            B.output(B.v("n")),
+        ])
+        assert res.output[0][1] == 3
+
+    def test_continue_skips(self):
+        ex, res = run_main([
+            B.assign("s", 0),
+            B.for_("i", 0, 5, [
+                B.if_(B.eq(B.mod(B.v("i"), 2), 0), [B.continue_()]),
+                B.assign("s", B.add(B.v("s"), 1)),
+            ]),
+            B.output(B.v("s")),
+        ])
+        assert res.output[0][1] == 2
+
+    def test_goto_forward(self):
+        ex, res = run_main([
+            B.goto("skip"),
+            B.output(99),
+            B.label("skip"),
+            B.output(1),
+        ])
+        assert [v for _, v in res.output] == [1]
+
+    def test_max_steps_stops_runaway(self):
+        ex, res = run_main([
+            B.assign("x", 0),
+            B.while_(1, [B.assign("x", B.add(B.v("x"), 1))]),
+        ], max_steps=100)
+        assert res.status == ExecutionStatus.STOPPED
+        assert res.stop_reason == "max-steps"
+
+
+class TestCalls:
+    def test_call_returns_value(self):
+        double = B.func("double", ["v"], [B.ret(B.mul(B.v("v"), 2))])
+        ex, res = run_main([
+            B.call("double", [21], target="r"),
+            B.output(B.v("r")),
+        ], functions=[double])
+        assert res.output[0][1] == 42
+
+    def test_recursion(self):
+        fact = B.func("fact", ["n"], [
+            B.if_(B.le(B.v("n"), 1), [B.ret(1)]),
+            B.call("fact", [B.sub(B.v("n"), 1)], target="sub"),
+            B.ret(B.mul(B.v("n"), B.v("sub"))),
+        ])
+        ex, res = run_main([
+            B.call("fact", [5], target="r"), B.output(B.v("r")),
+        ], functions=[fact])
+        assert res.output[0][1] == 120
+
+    def test_call_into_field_target(self):
+        getv = B.func("getv", [], [B.ret(9)])
+        ex, res = run_main([
+            B.assign("p", B.alloc_struct(v=0)),
+            B.call("getv", [], target=B.field(B.v("p"), "v")),
+            B.output(B.field(B.v("p"), "v")),
+        ], functions=[getv])
+        assert res.output[0][1] == 9
+
+    def test_assert_failure_inside_callee(self):
+        boom = B.func("boom", [], [B.assert_(0, "nope")])
+        ex, res = run_main([B.call("boom")], functions=[boom])
+        assert res.failed and res.failure.kind == "assert"
+        # the call stack shows main -> boom at the failure
+        thread = ex.threads["t0"]
+        assert [f.func for f in thread.frames] == ["main", "boom"]
+
+    def test_instr_count_tracked(self):
+        ex, res = run_main([B.assign("x", 1), B.assign("y", 2)])
+        assert ex.threads["t0"].instr_count == res.steps == 3

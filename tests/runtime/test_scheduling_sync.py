@@ -1,0 +1,204 @@
+"""Schedulers, locks, blocking, deadlock, and regions/loop counters."""
+
+import pytest
+
+from repro.analysis import StaticAnalysis
+from repro.lang import builder as B
+from repro.lang.errors import SchedulerError
+from repro.lang.lower import lower_program
+from repro.runtime import (
+    DeterministicScheduler,
+    Execution,
+    ExecutionStatus,
+    MulticoreScheduler,
+    ScriptedScheduler,
+)
+
+
+def two_thread_program(body1, body2, locks=("l",), globals_=None):
+    prog = B.program(
+        "t", globals_=globals_ or {"g": 0},
+        functions=[B.func("f1", [], body1), B.func("f2", [], body2)],
+        threads=[B.thread("t1", "f1"), B.thread("t2", "f2")],
+        locks=locks)
+    compiled = lower_program(prog)
+    return compiled, StaticAnalysis(compiled)
+
+
+class TestDeterministicScheduler:
+    def test_runs_threads_in_canonical_order(self):
+        compiled, sa = two_thread_program(
+            [B.output(1), B.output(2)], [B.output(3)])
+        ex = Execution(compiled, sa, DeterministicScheduler())
+        res = ex.run()
+        assert [v for _, v in res.output] == [1, 2, 3]
+
+    def test_switches_on_block(self):
+        compiled, sa = two_thread_program(
+            [B.acquire("l"), B.output(1), B.release("l")],
+            [B.acquire("l"), B.output(2), B.release("l")])
+        ex = Execution(compiled, sa, DeterministicScheduler())
+        res = ex.run()
+        assert [v for _, v in res.output] == [1, 2]
+
+    def test_repeat_runs_identical(self):
+        results = []
+        for _ in range(2):
+            compiled, sa = two_thread_program(
+                [B.assign("g", 1)], [B.assign("g", 2)])
+            ex = Execution(compiled, sa, DeterministicScheduler())
+            ex.run()
+            results.append(ex.globals["g"])
+        assert results[0] == results[1]
+
+
+class TestMulticoreScheduler:
+    def _outputs(self, seed):
+        compiled, sa = two_thread_program(
+            [B.output(1), B.output(2), B.output(3)],
+            [B.output(4), B.output(5), B.output(6)])
+        ex = Execution(compiled, sa, MulticoreScheduler(seed=seed))
+        return ex.run().output
+
+    def test_same_seed_same_interleaving(self):
+        assert self._outputs(7) == self._outputs(7)
+
+    def test_different_seeds_eventually_differ(self):
+        baseline = self._outputs(0)
+        assert any(self._outputs(s) != baseline for s in range(1, 30))
+
+    def test_bad_switch_prob_rejected(self):
+        with pytest.raises(SchedulerError):
+            MulticoreScheduler(seed=0, switch_prob=0.0)
+
+
+class TestScriptedScheduler:
+    def test_follows_script(self):
+        compiled, sa = two_thread_program([B.output(1)], [B.output(2)])
+        ex = Execution(compiled, sa, ScriptedScheduler(["t2", "t1"]))
+        res = ex.run()
+        assert [v for _, v in res.output] == [2, 1]
+
+    def test_strict_mode_raises_on_unrunnable(self):
+        compiled, sa = two_thread_program([B.output(1)], [B.output(2)])
+        done_first = ScriptedScheduler(
+            ["t1"] * 2 + ["t1"] * 10, strict=True)
+        ex = Execution(compiled, sa, done_first)
+        with pytest.raises(SchedulerError):
+            ex.run()
+
+
+class TestLocks:
+    def test_blocked_thread_not_runnable(self):
+        compiled, sa = two_thread_program(
+            [B.acquire("l"), B.output(1), B.release("l")],
+            [B.acquire("l"), B.output(2), B.release("l")])
+        ex = Execution(compiled, sa, DeterministicScheduler())
+        # t1 takes the lock
+        ex.step("t1")
+        assert ex.runnable_threads() == ["t1"]
+        ex.step("t1")  # output
+        ex.step("t1")  # release
+        assert ex.runnable_threads() == ["t1", "t2"]
+
+    def test_deadlock_detected(self):
+        compiled, sa = two_thread_program(
+            [B.acquire("a"), B.acquire("b"), B.release("b"), B.release("a")],
+            [B.acquire("b"), B.acquire("a"), B.release("a"), B.release("b")],
+            locks=("a", "b"))
+        # interleave so both grab their first lock
+        ex = Execution(compiled, sa, ScriptedScheduler(
+            ["t1", "t2", "t1", "t2"]))
+        res = ex.run()
+        assert res.status == ExecutionStatus.DEADLOCK
+
+    def test_reacquire_by_owner_faults(self):
+        compiled, sa = two_thread_program(
+            [B.acquire("l"), B.acquire("l")], [])
+        ex = Execution(compiled, sa, DeterministicScheduler())
+        res = ex.run()
+        assert res.failed and res.failure.kind == "lock"
+
+    def test_release_by_non_owner_faults(self):
+        compiled, sa = two_thread_program([B.release("l")], [])
+        ex = Execution(compiled, sa, DeterministicScheduler())
+        res = ex.run()
+        assert res.failed and res.failure.kind == "lock"
+
+
+class TestRegionsAndLoopCounters:
+    def _run_to_failure(self, body, instrument=True, globals_=None):
+        prog = B.program("t", globals_=globals_ or {},
+                         functions=[B.func("main", [], body)],
+                         threads=[B.thread("t0", "main")])
+        compiled = lower_program(prog)
+        ex = Execution(compiled, StaticAnalysis(compiled),
+                       DeterministicScheduler(),
+                       instrument_loops=instrument)
+        res = ex.run()
+        return ex, res
+
+    def test_while_counter_counts_iterations(self):
+        # crash inside the 3rd iteration of a while loop
+        ex, res = self._run_to_failure([
+            B.assign("n", 0),
+            B.while_(B.lt(B.v("n"), 5), [
+                B.assign("n", B.add(B.v("n"), 1)),
+                B.if_(B.eq(B.v("n"), 3), [B.assert_(0, "boom")]),
+            ]),
+        ])
+        assert res.failed
+        frame = ex.threads["t0"].current_frame
+        assert list(frame.loop_counters.values()) == [3]
+
+    def test_counter_removed_after_loop_exits(self):
+        ex, res = self._run_to_failure([
+            B.assign("n", 0),
+            B.while_(B.lt(B.v("n"), 2), [
+                B.assign("n", B.add(B.v("n"), 1)),
+            ]),
+            B.assert_(0, "after loop"),
+        ])
+        assert res.failed
+        assert ex.threads["t0"].current_frame.loop_counters == {}
+
+    def test_uninstrumented_has_no_counters(self):
+        ex, res = self._run_to_failure([
+            B.assign("n", 0),
+            B.while_(B.lt(B.v("n"), 3), [
+                B.assign("n", B.add(B.v("n"), 1)),
+                B.if_(B.eq(B.v("n"), 2), [B.assert_(0, "boom")]),
+            ]),
+        ], instrument=False)
+        assert res.failed
+        assert ex.threads["t0"].current_frame.loop_counters == {}
+
+    def test_nested_while_counters(self):
+        ex, res = self._run_to_failure([
+            B.assign("i", 0),
+            B.while_(B.lt(B.v("i"), 2), [
+                B.assign("i", B.add(B.v("i"), 1)),
+                B.assign("j", 0),
+                B.while_(B.lt(B.v("j"), 3), [
+                    B.assign("j", B.add(B.v("j"), 1)),
+                    B.if_(B.and_(B.eq(B.v("i"), 2), B.eq(B.v("j"), 2)),
+                          [B.assert_(0, "boom")]),
+                ]),
+            ]),
+        ])
+        assert res.failed
+        counters = sorted(
+            ex.threads["t0"].current_frame.loop_counters.values())
+        assert counters == [2, 2]
+
+    def test_region_stack_depth_tracks_loop_iterations(self):
+        ex, res = self._run_to_failure([
+            B.assign("n", 0),
+            B.while_(B.lt(B.v("n"), 4), [
+                B.assign("n", B.add(B.v("n"), 1)),
+                B.if_(B.eq(B.v("n"), 4), [B.assert_(0, "boom")]),
+            ]),
+        ])
+        frame = ex.threads["t0"].current_frame
+        loop_entries = [r for r in frame.region_stack if r.loop_id is not None]
+        assert len(loop_entries) == 4  # one per live iteration (the 2T spine)

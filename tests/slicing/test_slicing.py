@@ -1,0 +1,168 @@
+"""Tracing, dynamic slicing, and CSV access prioritization."""
+
+from repro.analysis import StaticAnalysis
+from repro.lang import builder as B
+from repro.lang.lower import lower_program
+from repro.runtime import DeterministicScheduler, Execution, global_loc
+from repro.slicing import (
+    DynamicSlicer,
+    TraceCollector,
+    extract_csv_accesses,
+    rank_dependence,
+    rank_temporal,
+)
+
+
+def traced_run(body, globals_=None, window=None):
+    prog = B.program("t", globals_=globals_ or {},
+                     functions=[B.func("main", [], body)],
+                     threads=[B.thread("t0", "main")])
+    compiled = lower_program(prog)
+    trace = TraceCollector(window=window)
+    ex = Execution(compiled, StaticAnalysis(compiled),
+                   DeterministicScheduler(), hooks=[trace])
+    res = ex.run()
+    return trace.events(), res
+
+
+class TestTraceCollector:
+    def test_records_every_step(self):
+        events, res = traced_run([B.assign("x", 1), B.assign("y", 2)],
+                                 {"x": 0, "y": 0})
+        assert len(events) == res.steps
+        assert [e.step for e in events] == list(range(res.steps))
+
+    def test_defs_uses_recorded(self):
+        events, _ = traced_run([B.assign("x", B.add(B.v("y"), 1))],
+                               {"x": 0, "y": 5})
+        first = events[0]
+        assert global_loc("y") in first.uses
+        assert first.defs == (global_loc("x"),)
+
+    def test_window_bounds_memory(self):
+        events, res = traced_run(
+            [B.for_("i", 0, 50, [B.assign("x", B.v("i"))])],
+            {"x": 0}, window=10)
+        assert len(events) == 10
+        assert events[-1].step == res.steps - 1
+
+    def test_dynamic_cd_points_to_branch_instance(self):
+        events, _ = traced_run([
+            B.if_(B.eq(1, 1), [B.assign("x", 5)]),
+        ], {"x": 0})
+        branch = next(e for e in events if e.branch_outcome is not None)
+        assign = next(e for e in events if e.defs)
+        assert assign.dynamic_cd_step == branch.step
+
+
+class TestSlicer:
+    def test_data_dependence_chain(self):
+        # a=1; b=a+1; c=b+1  — slicing from c pulls in all three
+        events, _ = traced_run([
+            B.assign("a", 1),
+            B.assign("b", B.add(B.v("a"), 1)),
+            B.assign("c", B.add(B.v("b"), 1)),
+        ], {"a": 0, "b": 0, "c": 0})
+        slicer = DynamicSlicer(events)
+        distances = slicer.slice_from([global_loc("c")])
+        assert set(distances.values()) == {1, 2, 3}
+
+    def test_unrelated_defs_excluded(self):
+        events, _ = traced_run([
+            B.assign("a", 1),
+            B.assign("noise", 9),
+            B.assign("c", B.add(B.v("a"), 1)),
+        ], {"a": 0, "noise": 0, "c": 0})
+        slicer = DynamicSlicer(events)
+        distances = slicer.slice_from([global_loc("c")])
+        sliced_pcs = {events[s].pc for s in distances}
+        noise_event = next(e for e in events
+                           if global_loc("noise") in e.defs)
+        assert noise_event.step not in distances
+
+    def test_control_dependence_included(self):
+        events, _ = traced_run([
+            B.assign("cond", 1),
+            B.if_(B.v("cond"), [B.assign("x", 5)]),
+        ], {"cond": 0, "x": 0})
+        slicer = DynamicSlicer(events)
+        distances = slicer.slice_from([global_loc("x")])
+        branch_step = next(e.step for e in events
+                           if e.branch_outcome is not None)
+        cond_def = next(e.step for e in events
+                        if global_loc("cond") in e.defs)
+        assert branch_step in distances
+        assert cond_def in distances
+
+    def test_criterion_event_seed_distance_zero(self):
+        events, _ = traced_run([
+            B.assign("x", 1),
+            B.if_(B.v("x"), [B.assign("y", 2)]),
+        ], {"x": 0, "y": 0})
+        branch_step = next(e.step for e in events
+                           if e.branch_outcome is not None)
+        slicer = DynamicSlicer(events)
+        distances = slicer.slice_from([global_loc("x")],
+                                      criterion_step=branch_step)
+        assert distances[branch_step] == 0
+
+    def test_last_def_respects_order(self):
+        events, _ = traced_run([
+            B.assign("x", 1), B.assign("x", 2), B.assign("y", B.v("x")),
+        ], {"x": 0, "y": 0})
+        slicer = DynamicSlicer(events)
+        y_def = next(e.step for e in events if global_loc("y") in e.defs)
+        assert slicer.last_def(global_loc("x"), y_def) == 1
+        assert slicer.last_def(global_loc("x"), 1) == 0
+        assert slicer.last_def(global_loc("x"), 0) is None
+
+
+class TestPrioritization:
+    def _accesses(self):
+        events, _ = traced_run([
+            B.assign("x", 1),       # write x    step 0
+            B.assign("pad", 0),
+            B.assign("y", B.v("x")),  # read x   step 2
+            B.assign("x", 3),       # write x    step 3
+        ], {"x": 0, "y": 0, "pad": 0})
+        return events, extract_csv_accesses(events, {global_loc("x")})
+
+    def test_extraction_kinds(self):
+        events, accesses = self._accesses()
+        kinds = [(a.kind, a.step) for a in accesses]
+        assert ("write", 0) in kinds
+        assert ("read", 2) in kinds
+        assert ("write", 3) in kinds
+
+    def test_upto_step_filters(self):
+        events, _ = self._accesses()
+        limited = extract_csv_accesses(events, {global_loc("x")},
+                                       upto_step=2)
+        assert max(a.step for a in limited) == 2
+
+    def test_temporal_ranks_recent_first(self):
+        events, accesses = self._accesses()
+        ranked = rank_temporal(accesses)
+        by_priority = sorted(ranked, key=lambda a: a.priority)
+        assert by_priority[0].step == 3  # most recent gets priority 1
+        assert by_priority[0].priority == 1
+
+    def test_dependence_ranks_by_slice_distance(self):
+        events, accesses = self._accesses()
+        slicer = DynamicSlicer(events)
+        distances = slicer.slice_from([global_loc("y")])
+        ranked = rank_dependence(accesses, distances)
+        # the read feeding y is in the slice; the write at step 3 is not
+        read = next(a for a in ranked if a.kind == "read")
+        late_write = next(a for a in ranked if a.step == 3)
+        assert read.priority is not None
+        assert late_write.priority is None  # the paper's ⊥
+
+    def test_dependence_dense_ranks(self):
+        events, accesses = self._accesses()
+        slicer = DynamicSlicer(events)
+        distances = slicer.slice_from([global_loc("y")])
+        ranked = rank_dependence(accesses, distances)
+        priorities = sorted(a.priority for a in ranked
+                            if a.priority is not None)
+        assert priorities == list(range(1, len(priorities) + 1))
