@@ -1,0 +1,9 @@
+"""Paper-table benchmarks (pytest + pytest-benchmark).
+
+Run explicitly — the files do not match the default test pattern::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/
+
+``REPRO_BENCH_SCENARIOS=fig1,apache-1`` restricts the suite fixtures to
+the named scenarios (CI smoke runs use ``fig1``).
+"""

@@ -3,7 +3,8 @@
 Reports, per bug: the repository id it is modeled on, its kind
 (atomicity violation vs. race), the failing execution's length, and the
 thread count — the analogue of the paper's id / description /
-exec. time / threads columns.
+exec. time / threads columns.  The failing runs come from each suite
+session's stress stage (``session.stress``).
 """
 
 from repro.runtime import MulticoreScheduler
@@ -15,7 +16,8 @@ def test_table2_bug_characteristics(suite):
     headers = ["bugs", "id", "description", "exec. steps", "exec. time",
                "threads"]
     rows = []
-    for scenario, bundle, stress in suite:
+    for scenario, bundle, session in suite:
+        stress = session.stress
         rows.append([
             scenario.name,
             scenario.paper_id,
@@ -33,9 +35,9 @@ def test_table2_failing_run_cost(benchmark, suite):
     """One production (multicore) run of the whole suite."""
     def run_all():
         steps = 0
-        for scenario, bundle, stress in suite:
+        for scenario, bundle, session in suite:
             execution = bundle.execution(
-                MulticoreScheduler(seed=stress.seed),
+                MulticoreScheduler(seed=session.stress.seed),
                 input_overrides=scenario.input_overrides)
             steps += execution.run().steps
         return steps

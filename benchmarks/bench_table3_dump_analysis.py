@@ -33,22 +33,14 @@ def test_table3_rows(suite_reports):
     print_table("Table 3: core dump analysis", headers, rows)
 
 
-def test_table3_dump_compare_cost(benchmark, suite, suite_reports):
+def test_table3_dump_compare_cost(benchmark, suite):
     """Benchmark: serialize + parse + diff one pair of dumps."""
-    scenario, bundle, stress = suite[0]
-
-    from repro.pipeline.reproducer import run_passing_with_alignment, \
-        ReproductionConfig
-    from repro.indexing import reverse_engineer_index
-
-    index = reverse_engineer_index(stress.dump, bundle.analysis)
-    _, aligned, _, _, _ = run_passing_with_alignment(
-        bundle, stress.dump, ReproductionConfig(), index=index,
-        input_overrides=scenario.input_overrides)
+    scenario, bundle, session = suite[0]
+    analysis = session.analyze_dump()  # memoized stage 1
 
     def parse_and_diff():
-        fail = dump_from_json(dump_to_json(stress.dump))
-        passing = dump_from_json(dump_to_json(aligned))
+        fail = dump_from_json(dump_to_json(session.failure_dump))
+        passing = dump_from_json(dump_to_json(analysis.aligned_dump))
         return compare_dumps(fail, passing)
 
     comparison = benchmark(parse_and_diff)

@@ -10,9 +10,9 @@ than temporal by much (paper: it reduces tries for 2/7 cases).
 A ``k`` sweep (1..3) is included as the ablation DESIGN.md calls out.
 """
 
-from repro.pipeline import ReproductionConfig, reproduce
+from repro.pipeline import ReproductionConfig
 
-from .conftest import print_table
+from .conftest import print_table, session_for
 
 
 def test_table4_rows(suite_reports):
@@ -52,16 +52,15 @@ def test_table4_k_sweep(suite):
     """Ablation: preemption bound k in {1, 2, 3} for the guided search."""
     headers = ["bug", "k=1", "k=2", "k=3"]
     rows = []
-    for scenario, bundle, stress in suite[:3]:  # three bugs suffice
+    for scenario, bundle, session in suite[:3]:  # three bugs suffice
         row = [scenario.name]
         for k in (1, 2, 3):
             config = ReproductionConfig(preemption_bound=k,
                                         heuristics=("dep",),
                                         include_chess=False)
-            report = reproduce(bundle, failure_dump=stress.dump,
-                               input_overrides=scenario.input_overrides,
-                               config=config)
-            outcome = report.searches["chessX+dep"]
+            sweep = session_for(scenario, bundle, config=config,
+                                failure_dump=session.failure_dump)
+            outcome = sweep.search("chessX+dep")
             row.append("%s/%d" % ("Y" if outcome.reproduced else "n",
                                   outcome.tries))
         rows.append(row)
@@ -70,15 +69,14 @@ def test_table4_k_sweep(suite):
 
 
 def test_table4_guided_search_cost(benchmark, suite):
-    """Benchmark: one full guided search on the case-study bug."""
-    scenario, bundle, stress = suite[0]
+    """Benchmark: one full guided search (stages 1-3) on the first bug."""
+    scenario, bundle, session = suite[0]
     config = ReproductionConfig(heuristics=("dep",), include_chess=False)
 
     def search():
-        report = reproduce(bundle, failure_dump=stress.dump,
-                           input_overrides=scenario.input_overrides,
-                           config=config)
-        return report.searches["chessX+dep"]
+        fresh = session_for(scenario, bundle, config=config,
+                            failure_dump=session.failure_dump)
+        return fresh.search("chessX+dep")
 
     outcome = benchmark(search)
     assert outcome.reproduced

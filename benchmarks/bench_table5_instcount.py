@@ -12,7 +12,9 @@ align better than on the paper's metal; the CSV-set degradation is still
 visible, and the EI-based pipeline never does worse.
 """
 
-from .conftest import print_table
+from repro.pipeline import ReproductionConfig
+
+from .conftest import print_table, session_for
 
 
 def test_table5_rows(suite_reports, instcount_reports):
@@ -59,16 +61,13 @@ def test_table5_csv_sets_differ(suite_reports, instcount_reports):
 
 def test_table5_alignment_cost(benchmark, suite):
     """Benchmark: locating the count-based aligned point."""
-    from repro.pipeline.reproducer import run_passing_with_alignment, \
-        ReproductionConfig
-
-    scenario, bundle, stress = suite[0]
+    scenario, bundle, session = suite[0]
     config = ReproductionConfig(aligner="instcount")
 
     def align():
-        return run_passing_with_alignment(
-            bundle, stress.dump, config,
-            input_overrides=scenario.input_overrides)[0]
+        fresh = session_for(scenario, bundle, config=config,
+                            failure_dump=session.failure_dump)
+        return fresh.analyze_dump().alignment
 
     alignment = benchmark(align)
     assert alignment is not None

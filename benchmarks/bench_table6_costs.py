@@ -31,19 +31,14 @@ def test_table6_rows(suite_reports):
 
 def test_table6_slicing_cost(benchmark, suite):
     """Benchmark: a backward slice over a full passing-run trace."""
-    from repro.indexing import reverse_engineer_index
-    from repro.pipeline.reproducer import run_passing_with_alignment, \
-        ReproductionConfig
     from repro.slicing import DynamicSlicer
 
-    scenario, bundle, stress = suite[0]
-    index = reverse_engineer_index(stress.dump, bundle.analysis)
-    alignment, _, events, _, _ = run_passing_with_alignment(
-        bundle, stress.dump, ReproductionConfig(), index=index,
-        input_overrides=scenario.input_overrides)
+    scenario, bundle, session = suite[0]
+    analysis = session.analyze_dump()
+    alignment = analysis.alignment
 
     def slice_once():
-        slicer = DynamicSlicer(events)
+        slicer = DynamicSlicer(analysis.events)
         return slicer.slice_from(alignment.criterion_locs,
                                  criterion_step=alignment.criterion_step)
 
@@ -55,7 +50,8 @@ def test_table6_reverse_engineering_cost(benchmark, suite):
     """Benchmark: Algorithm 1 on a failure dump."""
     from repro.indexing import reverse_engineer_index
 
-    scenario, bundle, stress = suite[0]
+    scenario, bundle, session = suite[0]
 
-    index = benchmark(reverse_engineer_index, stress.dump, bundle.analysis)
+    index = benchmark(reverse_engineer_index, session.failure_dump,
+                      bundle.analysis)
     assert len(index) >= 2

@@ -1,46 +1,61 @@
 """Shared benchmark fixtures.
 
 Every table draws on the same per-bug pipeline artifacts (stress dump,
-alignment, comparison, searches), so they are computed once per session
-and cached.  ``suite_reports`` is the full Table-2..4/6 pipeline;
+alignment, comparison, searches), so one :class:`ReproSession` per bug
+is built once per pytest session and its memoized stages are shared.
+``suite_reports`` is the full Table-2..4/6 pipeline;
 ``instcount_reports`` re-runs alignment + search with the Table-5
-instruction-count baseline.
+instruction-count baseline against the *same* failure dumps.
+
+Set ``REPRO_BENCH_SCENARIOS`` (comma-separated scenario names) to
+restrict the suite — e.g. ``REPRO_BENCH_SCENARIOS=fig1`` for a CI smoke
+run.
 """
+
+import os
 
 import pytest
 
-from repro.bugs import table2_scenarios
-from repro.pipeline import (
-    ProgramBundle,
-    ReproductionConfig,
-    reproduce,
-    stress_test,
-)
+from repro.bugs import get_scenario, table2_scenarios
+from repro.pipeline import ProgramBundle, ReproSession, ReproductionConfig
+
+STRESS_SEEDS = range(8000)
+
+
+def selected_scenarios():
+    """Table 2 scenarios, or the ``REPRO_BENCH_SCENARIOS`` subset."""
+    names = os.environ.get("REPRO_BENCH_SCENARIOS", "").strip()
+    if names:
+        return [get_scenario(name) for name in names.split(",") if name]
+    return table2_scenarios()
+
+
+def session_for(scenario, bundle=None, config=None, failure_dump=None):
+    """A fresh session for ``scenario`` with the benchmark stress sweep."""
+    bundle = bundle or ProgramBundle(scenario.build())
+    return ReproSession(bundle, config=config, failure_dump=failure_dump,
+                        input_overrides=scenario.input_overrides,
+                        stress_seeds=STRESS_SEEDS,
+                        expected_kind=scenario.expected_fault)
 
 
 @pytest.fixture(scope="session")
 def suite():
-    """(scenario, bundle, stress) for each Table 2 bug."""
+    """(scenario, bundle, session) per bug; the failure dump is acquired."""
     entries = []
-    for scenario in table2_scenarios():
+    for scenario in selected_scenarios():
         bundle = ProgramBundle(scenario.build())
-        stress = stress_test(bundle,
-                             input_overrides=scenario.input_overrides,
-                             expected_kind=scenario.expected_fault,
-                             seeds=range(8000))
-        entries.append((scenario, bundle, stress))
+        session = session_for(scenario, bundle)
+        session.acquire_failure()
+        entries.append((scenario, bundle, session))
     return entries
 
 
 @pytest.fixture(scope="session")
 def suite_reports(suite):
     """Full pipeline report per bug (EI-based alignment)."""
-    reports = {}
-    for scenario, bundle, stress in suite:
-        reports[scenario.name] = reproduce(
-            bundle, failure_dump=stress.dump,
-            input_overrides=scenario.input_overrides)
-    return reports
+    return {scenario.name: session.report()
+            for scenario, bundle, session in suite}
 
 
 @pytest.fixture(scope="session")
@@ -50,10 +65,10 @@ def instcount_reports(suite):
                                 heuristics=("temporal",),
                                 include_chess=False)
     reports = {}
-    for scenario, bundle, stress in suite:
-        reports[scenario.name] = reproduce(
-            bundle, failure_dump=stress.dump,
-            input_overrides=scenario.input_overrides, config=config)
+    for scenario, bundle, session in suite:
+        baseline = session_for(scenario, bundle, config=config,
+                               failure_dump=session.failure_dump)
+        reports[scenario.name] = baseline.report()
     return reports
 
 

@@ -14,12 +14,7 @@ Run:  python examples/apache_cache_case_study.py
 """
 
 from repro.bugs import get_scenario
-from repro.pipeline import (
-    ProgramBundle,
-    ReproductionConfig,
-    reproduce,
-    stress_test,
-)
+from repro.pipeline import ProgramBundle, ReproSession, ReproductionConfig
 
 
 def main():
@@ -28,23 +23,24 @@ def main():
     print("case study: %s (bug %s)" % (scenario.name, scenario.paper_id))
     print(scenario.description)
 
-    stress = stress_test(bundle, expected_kind=scenario.expected_fault)
-    print("\nfailure: %s" % stress.failure.describe())
+    session = ReproSession(bundle, expected_kind=scenario.expected_fault)
+    failure_dump = session.acquire_failure()
+    print("\nfailure: %s" % session.stress.failure.describe())
     print("crash function: %s"
-          % bundle.compiled.func_of(stress.failure.pc))
+          % bundle.compiled.func_of(session.stress.failure.pc))
 
-    report = reproduce(bundle, failure_dump=stress.dump)
-    print("\nalignment: %s" % report.alignment.describe())
+    print("\nalignment: %s" % session.analyze_dump().alignment.describe())
+    plan = session.diff_and_prioritize()
     print("CSVs (%d of %d shared variables):"
-          % (report.csv_count, report.shared_compared))
-    for path in report.csv_paths:
+          % (plan.csv_count, plan.shared_compared))
+    for path in plan.csv_paths:
         print("  %s" % path)
 
     print("\nsearch:")
-    for name, outcome in report.searches.items():
+    for name, outcome in session.search_all().items():
         print("  %s" % outcome.describe())
 
-    outcome = report.searches["chessX+dep"]
+    outcome = session.search("chessX+dep")
     print("\ntwo-preemption schedule (paper: 'one at line 545, one at "
           "line 175'):")
     for preemption in outcome.plan:
@@ -55,11 +51,11 @@ def main():
     print("tries by combination size: %s (paper tried 640 "
           "one-preemptions and 4 two-preemptions)" % sizes)
 
-    # ablation: k=1 cannot reproduce this bug
+    # ablation: k=1 cannot reproduce this bug (fresh session, same dump)
     config = ReproductionConfig(preemption_bound=1, heuristics=("dep",),
                                 include_chess=False)
-    k1 = reproduce(bundle, failure_dump=stress.dump, config=config)
-    print("\nwith k=1: %s" % k1.searches["chessX+dep"].describe())
+    k1 = ReproSession(bundle, config, failure_dump=failure_dump)
+    print("\nwith k=1: %s" % k1.search("chessX+dep").describe())
 
 
 if __name__ == "__main__":

@@ -12,8 +12,7 @@ Run:  python examples/custom_bug.py
 from repro.lang import builder as B
 from repro.pipeline import (
     ProgramBundle,
-    reproduce,
-    stress_test,
+    ReproSession,
     verify_passes_on_single_core,
 )
 
@@ -65,17 +64,17 @@ def main():
         "the bug must hide on a single core"
     print("single-core deterministic run: PASSES (a Heisenbug)")
 
-    stress = stress_test(bundle, expected_kind="assert")
+    session = ReproSession(bundle, expected_kind="assert")
+    session.acquire_failure()
     print("multicore stress: %s (seed %d)"
-          % (stress.failure.describe(), stress.seed))
+          % (session.stress.failure.describe(), session.stress.seed))
 
-    report = reproduce(bundle, failure_dump=stress.dump)
-    print("\nalignment: %s" % report.alignment.describe())
-    print("CSVs: %s" % ", ".join(report.csv_paths))
-    for name, outcome in report.searches.items():
+    print("\nalignment: %s" % session.analyze_dump().alignment.describe())
+    print("CSVs: %s" % ", ".join(session.diff_and_prioritize().csv_paths))
+    for name, outcome in session.search_all().items():
         print("  %s" % outcome.describe())
 
-    best = report.searches["chessX+dep"]
+    best = session.search("chessX+dep")
     assert best.reproduced
     print("\nreproduced with schedule:")
     for p in best.plan:

@@ -3,29 +3,64 @@ Concurrency Bug Reproduction* (Weeratunge, Zhang & Jagannathan,
 ASPLOS 2010).
 
 The package turns a failure core dump from a (simulated) multicore run
-into a failure-inducing schedule on a single core:
+into a failure-inducing schedule on a single core.  The public API is
+the staged :class:`~repro.pipeline.session.ReproSession`, whose three
+stages mirror the paper's pipeline and memoize their outputs:
 
-    >>> from repro import bugs, pipeline
+    >>> from repro import ReproSession, bugs, pipeline
     >>> scenario = bugs.get_scenario("fig1")
-    >>> bundle = pipeline.ProgramBundle(scenario.build())
-    >>> report = pipeline.reproduce(bundle)
-    >>> report.searches["chessX+dep"].reproduced
+    >>> session = ReproSession(pipeline.ProgramBundle(scenario.build()))
+    >>> analysis = session.analyze_dump()        # Algorithm 1 + alignment
+    >>> plan = session.diff_and_prioritize()     # dump diff -> ranked CSVs
+    >>> outcome = session.search("chessX+dep")   # Algorithm 2
+    >>> outcome.reproduced
     True
+
+Re-searching with another strategy (``session.search("chessX+temporal")``)
+reuses the cached dump analysis and diff; only the new search runs.
+``session.report()`` assembles the classic
+:class:`~repro.pipeline.report.ReproductionReport`, which round-trips
+through a versioned JSON schema (``report.to_json()`` /
+``ReproductionReport.from_json``).  Whole suites fan out over processes
+with :func:`~repro.pipeline.batch.run_many`:
+
+    >>> batch = pipeline.run_many(["fig1", "apache-1"], workers=4)
+
+Aligners, search strategies, and prioritization heuristics are pluggable
+through the registries in :mod:`repro.registry` — registering a new
+heuristic automatically yields a matching ``chessX+<name>`` strategy.
+
+**Migrating from the 1.x flat API:** ``pipeline.reproduce(bundle, ...)``
+still works as a deprecated shim and returns the same report; replace it
+with a session to gain stage reuse::
+
+    report = pipeline.reproduce(bundle, failure_dump=dump, config=cfg)
+    # becomes
+    report = ReproSession(bundle, cfg, failure_dump=dump).report()
 
 Layers (bottom-up): ``lang`` (mini concurrent language + flat IR),
 ``analysis`` (CFG / post-dominators / control dependence), ``runtime``
 (interpreter, schedulers, checkpoints), ``coredump`` (snapshots,
 reference-path diffing), ``indexing`` (execution indexing: online,
 Algorithm 1 reverse engineering, alignment), ``slicing`` (dynamic
-slicing, CSV prioritization), ``search`` (CHESS and Algorithm 2),
-``pipeline`` (end-to-end), ``bugs`` (the evaluation suite).
+slicing, CSV prioritization), ``search`` (CHESS, Algorithm 2, strategy
+registry), ``pipeline`` (sessions, batching, reports), ``bugs`` (the
+evaluation suite), ``registry`` (component registries).
 """
 
-from . import analysis, bugs, coredump, indexing, lang, pipeline, runtime, \
-    search, slicing
-from .pipeline import ProgramBundle, ReproductionConfig, reproduce
+from . import analysis, bugs, coredump, indexing, lang, pipeline, registry, \
+    runtime, search, slicing
+from .pipeline import (
+    ProgramBundle,
+    ReproSession,
+    ReproductionConfig,
+    ReproductionReport,
+    reproduce,
+    run_many,
+)
+from .registry import ALIGNERS, HEURISTICS, SEARCH_STRATEGIES
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "analysis",
@@ -34,11 +69,18 @@ __all__ = [
     "indexing",
     "lang",
     "pipeline",
+    "registry",
     "runtime",
     "search",
     "slicing",
+    "ALIGNERS",
+    "HEURISTICS",
+    "SEARCH_STRATEGIES",
     "ProgramBundle",
+    "ReproSession",
     "ReproductionConfig",
+    "ReproductionReport",
     "reproduce",
+    "run_many",
     "__version__",
 ]

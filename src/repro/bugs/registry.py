@@ -43,7 +43,12 @@ def register(scenario):
 
 
 def get_scenario(name):
-    return _REGISTRY[name]
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            "unknown scenario %r; registered: %s"
+            % (name, ", ".join(sorted(_REGISTRY)))) from None
 
 
 def all_scenarios():

@@ -23,6 +23,7 @@ from typing import Optional
 from ..lang import ast
 from ..lang.errors import IndexingError
 from ..lang.lower import Opcode
+from ..registry import ALIGNERS
 from ..runtime.events import StopExecution, global_loc, heap_loc, local_loc
 from ..lang.values import Pointer
 from .index import (
@@ -273,3 +274,12 @@ class AlignmentHook:
                 and not analysis.depends_on_branch(head_pc, effects.pc,
                                                    outcome):
             self._closest(execution, effects, effects.uses)
+
+
+@ALIGNERS.register("index", needs_index=True)
+def _build_index_aligner(failure_dump, index, analysis, on_aligned=None):
+    """The paper's aligner: EI rules 5-7 over the Algorithm 1 index."""
+    if index is None:
+        raise IndexingError(
+            "the 'index' aligner needs a reverse-engineered failure index")
+    return AlignmentHook(index, analysis, on_aligned=on_aligned)

@@ -88,7 +88,12 @@ def _frame_region_entries(analysis, compiled, frame_dump, start_pc):
         loop_deps = [(p, label) for (p, label) in cd
                      if compiled.instr(p).is_loop and label is True]
         if loop_deps:
-            lp, _ = min(loop_deps)
+            # A loop header reached through its back-jump is control
+            # dependent both on itself and on every enclosing loop; the
+            # walk must consume the innermost region first (the header
+            # with the highest pc — inner loops lower after outer ones)
+            # or the live iterations of the inner loops are lost.
+            lp, _ = max(loop_deps)
             count = get_loop_count(compiled.instr(lp), frame_dump, pc,
                                    compiled)
             entries.extend([BranchEntry(pred_pc=lp, outcome=True)] * count)

@@ -83,6 +83,10 @@ class DumpError(ReproError):
     """A core dump could not be produced, parsed, or compared."""
 
 
+class RegistryError(ReproError):
+    """A component registry lookup or registration failed."""
+
+
 class IndexingError(ReproError):
     """Execution-index construction or reverse engineering failed."""
 

@@ -1,23 +1,32 @@
-"""End-to-end reproduction pipeline."""
+"""The reproduction pipeline: staged sessions, batching, legacy shim."""
 
+from .batch import BatchResult, run_many
 from .bundle import ProgramBundle
-from .reproducer import (
-    PhaseTimings,
-    ReproductionConfig,
-    ReproductionReport,
-    reproduce,
+from .config import ReproductionConfig
+from .report import PhaseTimings, ReproductionReport, SCHEMA_VERSION
+from .reproducer import reproduce
+from .session import (
+    AnalysisResult,
+    CsvPlan,
+    ReproSession,
     run_passing_with_alignment,
 )
 from .stress import StressResult, stress_test, verify_passes_on_single_core
 
 __all__ = [
-    "ProgramBundle",
+    "AnalysisResult",
+    "BatchResult",
+    "CsvPlan",
     "PhaseTimings",
+    "ProgramBundle",
+    "ReproSession",
     "ReproductionConfig",
     "ReproductionReport",
-    "reproduce",
-    "run_passing_with_alignment",
+    "SCHEMA_VERSION",
     "StressResult",
+    "reproduce",
+    "run_many",
+    "run_passing_with_alignment",
     "stress_test",
     "verify_passes_on_single_core",
 ]

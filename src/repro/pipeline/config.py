@@ -1,0 +1,45 @@
+"""Pipeline configuration, validated against the component registries."""
+
+from dataclasses import dataclass
+
+from ..registry import ALIGNERS, HEURISTICS, ensure_builtins_registered
+
+
+@dataclass
+class ReproductionConfig:
+    """Knobs of the pipeline; defaults mirror the paper's setup.
+
+    ``aligner`` and every name in ``heuristics`` are validated on
+    construction against :data:`repro.registry.ALIGNERS` and
+    :data:`repro.registry.HEURISTICS`; a typo raises immediately with
+    the list of valid choices instead of failing deep inside a run.
+    """
+
+    preemption_bound: int = 2        # k=2, as in the paper's experiments
+    heuristics: tuple[str, ...] = ("dep", "temporal")
+    include_chess: bool = True
+    aligner: str = "index"           # any registered aligner name
+    trace_window: int | None = None
+    chess_max_tries: int = 3000
+    chess_max_seconds: float = 120.0
+    chessx_max_tries: int = 3000
+    chessx_max_seconds: float = 120.0
+    testrun_max_steps: int = 500_000
+
+    def __post_init__(self):
+        self.heuristics = tuple(self.heuristics)
+        self.validate()
+
+    def validate(self):
+        """Check registry-backed names; returns self for chaining."""
+        ensure_builtins_registered()
+        ALIGNERS.validate(self.aligner)
+        for heuristic in self.heuristics:
+            HEURISTICS.validate(heuristic)
+        return self
+
+    def strategy_names(self):
+        """The strategies a full run executes, in reporting order."""
+        names = ["chess"] if self.include_chess else []
+        names.extend("chessX+%s" % h for h in self.heuristics)
+        return tuple(names)

@@ -1,0 +1,254 @@
+"""The reproduction report and its versioned JSON schema.
+
+A :class:`ReproductionReport` carries every number the paper's Tables
+2-6 need for one bug.  Reports serialize to a self-describing JSON
+document (``schema`` field, currently :data:`SCHEMA_VERSION`) so batch
+results can be stored, shipped between processes, and served; the round
+trip preserves everything the evaluation tables read —
+``from_json(to_json(r)).table3_row() == r.table3_row()`` and likewise
+for Table 4.
+"""
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from ..indexing.align import AlignmentResult
+from ..indexing.index import (
+    AggregateEntry,
+    BranchEntry,
+    Index,
+    MethodEntry,
+    StatementEntry,
+    ThreadEntry,
+)
+from ..lang.errors import DumpError
+from ..runtime.events import Failure
+from ..search.base import SearchOutcome
+from ..search.preemption import PlannedPreemption
+from .config import ReproductionConfig
+
+#: Version tag of the JSON report schema.  Bump on breaking changes;
+#: :func:`ReproductionReport.from_json` rejects documents it cannot read.
+SCHEMA_VERSION = "repro.report/1"
+
+
+@dataclass
+class PhaseTimings:
+    """One-time analysis costs (Table 6) plus phase wall clocks."""
+
+    reverse_index_s: float = 0.0
+    align_run_s: float = 0.0
+    dump_parse_s: float = 0.0
+    dump_diff_s: float = 0.0
+    slicing_s: float = 0.0
+
+
+@dataclass
+class ReproductionReport:
+    """Everything the evaluation tables need for one bug."""
+
+    bug: str
+    config: ReproductionConfig
+    # failing run (Table 2)
+    failing_seed: Optional[int]
+    failing_steps: int
+    failing_wall_s: float
+    thread_count: int
+    failure: Optional[Failure]
+    # dump analysis (Table 3 / Table 5 left half)
+    fail_dump_bytes: int = 0
+    aligned_dump_bytes: int = 0
+    index: Optional[Index] = None
+    index_len: int = 0
+    vars_compared: int = 0
+    diff_count: int = 0
+    shared_compared: int = 0
+    csv_count: int = 0
+    csv_paths: list[str] = field(default_factory=list)
+    # alignment
+    alignment: Optional[AlignmentResult] = None
+    aligned_instr_count: int = 0
+    # search (Table 4 / Table 5 right half)
+    candidate_count: int = 0
+    searches: dict[str, SearchOutcome] = field(default_factory=dict)
+    # costs (Table 6)
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+
+    def table3_row(self):
+        return {
+            "bug": self.bug,
+            "dump_bytes": (self.fail_dump_bytes, self.aligned_dump_bytes),
+            "vars/diffs": (self.vars_compared, self.diff_count),
+            "shared/CSV": (self.shared_compared, self.csv_count),
+            "len(index)": self.index_len,
+        }
+
+    def table4_row(self):
+        return {
+            "bug": self.bug,
+            **{name: (o.tries, round(o.wall_seconds, 3), o.total_steps,
+                      o.reproduced)
+               for name, o in self.searches.items()},
+        }
+
+    # -- JSON schema -----------------------------------------------------------
+
+    def to_json(self, indent=None):
+        """Serialize to the versioned JSON document."""
+        doc = {
+            "schema": SCHEMA_VERSION,
+            "bug": self.bug,
+            "config": asdict(self.config),
+            "failing_seed": self.failing_seed,
+            "failing_steps": self.failing_steps,
+            "failing_wall_s": self.failing_wall_s,
+            "thread_count": self.thread_count,
+            "failure": _encode_failure(self.failure),
+            "fail_dump_bytes": self.fail_dump_bytes,
+            "aligned_dump_bytes": self.aligned_dump_bytes,
+            "index": _encode_index(self.index),
+            "index_len": self.index_len,
+            "vars_compared": self.vars_compared,
+            "diff_count": self.diff_count,
+            "shared_compared": self.shared_compared,
+            "csv_count": self.csv_count,
+            "csv_paths": list(self.csv_paths),
+            "alignment": _encode_alignment(self.alignment),
+            "aligned_instr_count": self.aligned_instr_count,
+            "candidate_count": self.candidate_count,
+            "searches": {name: _encode_outcome(o)
+                         for name, o in self.searches.items()},
+            "timings": asdict(self.timings),
+        }
+        return json.dumps(doc, sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text):
+        """Parse a document produced by :meth:`to_json`."""
+        doc = json.loads(text)
+        schema = doc.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise DumpError(
+                "unsupported report schema %r (this build reads %r)"
+                % (schema, SCHEMA_VERSION))
+        config_doc = dict(doc["config"])
+        config_doc["heuristics"] = tuple(config_doc["heuristics"])
+        return cls(
+            bug=doc["bug"],
+            config=ReproductionConfig(**config_doc),
+            failing_seed=doc["failing_seed"],
+            failing_steps=doc["failing_steps"],
+            failing_wall_s=doc["failing_wall_s"],
+            thread_count=doc["thread_count"],
+            failure=_decode_failure(doc["failure"]),
+            fail_dump_bytes=doc["fail_dump_bytes"],
+            aligned_dump_bytes=doc["aligned_dump_bytes"],
+            index=_decode_index(doc["index"]),
+            index_len=doc["index_len"],
+            vars_compared=doc["vars_compared"],
+            diff_count=doc["diff_count"],
+            shared_compared=doc["shared_compared"],
+            csv_count=doc["csv_count"],
+            csv_paths=list(doc["csv_paths"]),
+            alignment=_decode_alignment(doc["alignment"]),
+            aligned_instr_count=doc["aligned_instr_count"],
+            candidate_count=doc["candidate_count"],
+            searches={name: _decode_outcome(o)
+                      for name, o in doc["searches"].items()},
+            timings=PhaseTimings(**doc["timings"]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# field codecs
+# ---------------------------------------------------------------------------
+
+_INDEX_ENTRY_KINDS = {
+    "thread": ThreadEntry,
+    "method": MethodEntry,
+    "branch": BranchEntry,
+    "aggregate": AggregateEntry,
+    "statement": StatementEntry,
+}
+_KIND_OF_ENTRY = {cls: kind for kind, cls in _INDEX_ENTRY_KINDS.items()}
+
+
+def _encode_failure(failure):
+    return None if failure is None else asdict(failure)
+
+
+def _decode_failure(doc):
+    return None if doc is None else Failure(**doc)
+
+
+def _encode_index(index):
+    if index is None:
+        return None
+    entries = []
+    for entry in index:
+        doc = asdict(entry)
+        doc["kind"] = _KIND_OF_ENTRY[type(entry)]
+        entries.append(doc)
+    return entries
+
+
+def _decode_index(entries):
+    if entries is None:
+        return None
+    decoded = []
+    for doc in entries:
+        doc = dict(doc)
+        cls = _INDEX_ENTRY_KINDS[doc.pop("kind")]
+        if cls is AggregateEntry:
+            doc["members"] = tuple(doc["members"])
+        decoded.append(cls(**doc))
+    return Index(decoded)
+
+
+def _encode_alignment(alignment):
+    if alignment is None:
+        return None
+    doc = asdict(alignment)
+    doc["criterion_locs"] = [list(loc) for loc in alignment.criterion_locs]
+    return doc
+
+
+def _decode_alignment(doc):
+    if doc is None:
+        return None
+    doc = dict(doc)
+    doc["criterion_locs"] = tuple(tuple(loc) for loc in doc["criterion_locs"])
+    return AlignmentResult(**doc)
+
+
+def _encode_outcome(outcome):
+    return {
+        "algorithm": outcome.algorithm,
+        "reproduced": outcome.reproduced,
+        "tries": outcome.tries,
+        "total_steps": outcome.total_steps,
+        "wall_seconds": outcome.wall_seconds,
+        "plan": None if outcome.plan is None
+        else [asdict(p) for p in outcome.plan],
+        "cutoff": outcome.cutoff,
+        "failure": _encode_failure(outcome.failure),
+        "tries_by_size": {str(size): count
+                          for size, count in outcome.tries_by_size.items()},
+    }
+
+
+def _decode_outcome(doc):
+    return SearchOutcome(
+        algorithm=doc["algorithm"],
+        reproduced=doc["reproduced"],
+        tries=doc["tries"],
+        total_steps=doc["total_steps"],
+        wall_seconds=doc["wall_seconds"],
+        plan=None if doc["plan"] is None
+        else [PlannedPreemption(**p) for p in doc["plan"]],
+        cutoff=doc["cutoff"],
+        failure=_decode_failure(doc["failure"]),
+        tries_by_size={int(size): count
+                       for size, count in doc["tries_by_size"].items()},
+    )

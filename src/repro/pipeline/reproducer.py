@@ -1,278 +1,56 @@
-"""The end-to-end reproduction pipeline (paper Sec. 2's three steps).
+"""Legacy one-call pipeline entry point (deprecated shim).
 
-1. Analyze the failure core dump: reverse engineer the failure index
-   (Algorithm 1) and locate the aligned point in a deterministic
-   single-core passing run (rules 5-7), collecting a trace on the way.
-2. Generate a core dump at the aligned point, compare it with the
-   failure dump to obtain CSVs, and prioritize CSV accesses (temporal
-   and dependence heuristics).
-3. Search for a failure-inducing schedule with the enhanced CHESS
-   (Algorithm 2), optionally alongside the plain-CHESS and
-   instruction-count baselines.
+.. deprecated:: 2.0
+    :func:`reproduce` survives for callers of the original flat API, but
+    it is now a thin shim over :class:`~repro.pipeline.session.ReproSession`
+    — the staged, memoized session that lets each pipeline stage be run,
+    cached, and swapped independently.  Migrate::
 
-:func:`reproduce` returns a :class:`ReproductionReport` carrying every
-number the paper's Tables 2-6 report for one bug.
+        # before
+        report = reproduce(bundle, failure_dump=dump, config=config)
+
+        # after
+        session = ReproSession(bundle, config, failure_dump=dump)
+        report = session.report()
+        # ... or stage by stage:
+        analysis = session.analyze_dump()
+        plan = session.diff_and_prioritize()
+        outcome = session.search(strategy="chessX+dep")
+
+``ReproductionConfig``, ``ReproductionReport``, ``PhaseTimings``, and
+``run_passing_with_alignment`` are re-exported from their new homes so
+old import paths keep working.
 """
 
-import time
-from dataclasses import dataclass, field
-from typing import Optional
+import warnings
 
-from ..coredump.compare import compare_dumps
-from ..coredump.dump import take_core_dump
-from ..coredump.serialize import dump_from_json, dump_size_bytes, dump_to_json
-from ..indexing.align import AlignmentHook
-from ..indexing.reverse import reverse_engineer_index
-from ..lang.errors import SearchError
-from ..runtime.scheduler import DeterministicScheduler
-from ..search.chess import ChessSearch
-from ..search.chessx import ChessXSearch
-from ..search.instcount import ContextPCAligner, InstructionCountAligner
-from ..search.preemption import enumerate_candidates
-from ..slicing.distance import (
-    extract_csv_accesses,
-    rank_dependence,
-    rank_temporal,
-)
-from ..slicing.slicer import DynamicSlicer
-from ..slicing.trace import TraceCollector
-from .stress import stress_test
+from .config import ReproductionConfig
+from .report import PhaseTimings, ReproductionReport
+from .session import ReproSession, run_passing_with_alignment
 
-
-@dataclass
-class ReproductionConfig:
-    """Knobs of the pipeline; defaults mirror the paper's setup."""
-
-    preemption_bound: int = 2        # k=2, as in the paper's experiments
-    heuristics: tuple = ("dep", "temporal")
-    include_chess: bool = True
-    aligner: str = "index"           # "index" | "instcount" | "contextpc"
-    trace_window: Optional[int] = None
-    chess_max_tries: int = 3000
-    chess_max_seconds: float = 120.0
-    chessx_max_tries: int = 3000
-    chessx_max_seconds: float = 120.0
-    testrun_max_steps: int = 500_000
-
-
-@dataclass
-class PhaseTimings:
-    """One-time analysis costs (Table 6) plus phase wall clocks."""
-
-    reverse_index_s: float = 0.0
-    align_run_s: float = 0.0
-    dump_parse_s: float = 0.0
-    dump_diff_s: float = 0.0
-    slicing_s: float = 0.0
-
-
-@dataclass
-class ReproductionReport:
-    """Everything the evaluation tables need for one bug."""
-
-    bug: str
-    config: ReproductionConfig
-    # failing run (Table 2)
-    failing_seed: Optional[int]
-    failing_steps: int
-    failing_wall_s: float
-    thread_count: int
-    failure: object
-    # dump analysis (Table 3 / Table 5 left half)
-    fail_dump_bytes: int = 0
-    aligned_dump_bytes: int = 0
-    index: object = None
-    index_len: int = 0
-    vars_compared: int = 0
-    diff_count: int = 0
-    shared_compared: int = 0
-    csv_count: int = 0
-    csv_paths: list = field(default_factory=list)
-    # alignment
-    alignment: object = None
-    aligned_instr_count: int = 0
-    # search (Table 4 / Table 5 right half)
-    candidate_count: int = 0
-    searches: dict = field(default_factory=dict)
-    # costs (Table 6)
-    timings: PhaseTimings = field(default_factory=PhaseTimings)
-
-    def table3_row(self):
-        return {
-            "bug": self.bug,
-            "dump_bytes": (self.fail_dump_bytes, self.aligned_dump_bytes),
-            "vars/diffs": (self.vars_compared, self.diff_count),
-            "shared/CSV": (self.shared_compared, self.csv_count),
-            "len(index)": self.index_len,
-        }
-
-    def table4_row(self):
-        return {
-            "bug": self.bug,
-            **{name: (o.tries, round(o.wall_seconds, 3), o.total_steps,
-                      o.reproduced)
-               for name, o in self.searches.items()},
-        }
-
-
-def _build_aligner(config, failure_dump, index, analysis, on_aligned):
-    if config.aligner == "index":
-        return AlignmentHook(index, analysis, on_aligned=on_aligned)
-    if config.aligner == "instcount":
-        return InstructionCountAligner(failure_dump, on_aligned=on_aligned)
-    if config.aligner == "contextpc":
-        return ContextPCAligner(failure_dump, on_aligned=on_aligned)
-    raise SearchError("unknown aligner %r" % (config.aligner,))
-
-
-def run_passing_with_alignment(bundle, failure_dump, config,
-                               input_overrides=None, index=None):
-    """Phase 1: the instrumented deterministic re-execution.
-
-    The aligned core dump is taken *at* the aligned point (via the
-    aligner's callback); the run then continues to completion so the
-    trace also covers accesses after the aligned point, which the
-    thread-selection annotations of Algorithm 2 need.
-
-    Returns ``(alignment_result, aligned_dump, trace_events,
-    align_wall_seconds, aligned_execution)``.
-    """
-    trace = TraceCollector(window=config.trace_window)
-    captured = {}
-
-    def on_aligned(execution, result):
-        captured["dump"] = take_core_dump(execution, "aligned",
-                                          failing_thread=result.thread)
-
-    aligner = _build_aligner(config, failure_dump, index, bundle.analysis,
-                             on_aligned)
-    execution = bundle.execution(DeterministicScheduler(),
-                                 input_overrides=input_overrides,
-                                 hooks=[trace, aligner])
-    start = time.perf_counter()
-    execution.run()
-    align_wall = time.perf_counter() - start
-    alignment = aligner.result
-    if alignment is None or "dump" not in captured:
-        raise SearchError(
-            "passing run of %s ended without an aligned point"
-            % (bundle.name,))
-    return alignment, captured["dump"], trace.events(), align_wall, execution
+__all__ = [
+    "PhaseTimings",
+    "ReproductionConfig",
+    "ReproductionReport",
+    "reproduce",
+    "run_passing_with_alignment",
+]
 
 
 def reproduce(bundle, failure_dump=None, input_overrides=None,
               stress_seeds=None, expected_kind=None, config=None):
-    """Run the full three-phase pipeline for one bug.
+    """Run the full three-phase pipeline for one bug (deprecated).
 
-    When ``failure_dump`` is None, a failing run is first produced by
-    stress testing (not part of the technique, just how the dump is
-    acquired — paper Sec. 6).
+    Equivalent to building a :class:`ReproSession` with the same
+    arguments and calling :meth:`~ReproSession.report`.
     """
-    config = config or ReproductionConfig()
-    timings = PhaseTimings()
-
-    failing_seed = None
-    failing_steps = 0
-    failing_wall = 0.0
-    if failure_dump is None:
-        stress = stress_test(bundle, input_overrides=input_overrides,
-                             seeds=stress_seeds, expected_kind=expected_kind)
-        failure_dump = stress.dump
-        failing_seed = stress.seed
-        failing_steps = stress.result.steps
-        failing_wall = stress.wall_seconds
-
-    report = ReproductionReport(
-        bug=bundle.name, config=config, failing_seed=failing_seed,
-        failing_steps=failing_steps, failing_wall_s=failing_wall,
-        thread_count=len(bundle.program.threads),
-        failure=failure_dump.failure,
-    )
-
-    # -- Step 1: failure index + aligned point --------------------------------
-    index = None
-    if config.aligner == "index":
-        start = time.perf_counter()
-        index = reverse_engineer_index(failure_dump, bundle.analysis)
-        timings.reverse_index_s = time.perf_counter() - start
-        report.index = index
-        report.index_len = len(index)
-
-    alignment, aligned_dump, events, align_wall, aligned_execution = \
-        run_passing_with_alignment(bundle, failure_dump, config,
-                                   input_overrides=input_overrides,
-                                   index=index)
-    timings.align_run_s = align_wall
-    report.alignment = alignment
-    report.aligned_instr_count = \
-        aligned_dump.thread_dump(alignment.thread).instr_count
-
-    # -- Step 2: dump comparison + CSV prioritization ----------------------------
-    fail_json = dump_to_json(failure_dump)
-    aligned_json = dump_to_json(aligned_dump)
-    report.fail_dump_bytes = len(fail_json.encode("utf-8"))
-    report.aligned_dump_bytes = len(aligned_json.encode("utf-8"))
-    start = time.perf_counter()
-    parsed_fail = dump_from_json(fail_json)
-    parsed_aligned = dump_from_json(aligned_json)
-    timings.dump_parse_s = time.perf_counter() - start
-
-    start = time.perf_counter()
-    comparison = compare_dumps(parsed_fail, parsed_aligned)
-    timings.dump_diff_s = time.perf_counter() - start
-    report.vars_compared = comparison.vars_compared
-    report.diff_count = len(comparison.differences)
-    report.shared_compared = comparison.shared_compared
-    report.csv_count = len(comparison.csvs)
-    report.csv_paths = comparison.csv_paths()
-
-    csv_locs = comparison.csv_locations
-    # Priorities only consider accesses at or before the aligned point
-    # (paper Sec. 4); the full-trace accesses feed the CSV-set
-    # annotations used for thread selection.
-    all_accesses = extract_csv_accesses(events, csv_locs)
-    accesses = extract_csv_accesses(events, csv_locs,
-                                    upto_step=alignment.criterion_step)
-    ranked = {}
-    if "temporal" in config.heuristics:
-        ranked["temporal"] = rank_temporal(accesses)
-    if "dep" in config.heuristics:
-        start = time.perf_counter()
-        slicer = DynamicSlicer(events)
-        distances = slicer.slice_from(alignment.criterion_locs,
-                                      criterion_step=alignment.criterion_step)
-        timings.slicing_s = time.perf_counter() - start
-        ranked["dep"] = rank_dependence(accesses, distances)
-
-    # -- Step 3: schedule search ---------------------------------------------------
-    target = failure_dump.failure.signature()
-    thread_names = bundle.thread_names()
-
-    def factory(scheduler):
-        return bundle.execution(scheduler, input_overrides=input_overrides,
-                                max_steps=config.testrun_max_steps)
-
-    if config.include_chess:
-        plain_candidates = enumerate_candidates(events, csv_locs, [],
-                                                all_accesses=all_accesses)
-        report.candidate_count = len(plain_candidates)
-        chess = ChessSearch(factory, plain_candidates, target, thread_names,
-                            preemption_bound=config.preemption_bound,
-                            max_tries=config.chess_max_tries,
-                            max_seconds=config.chess_max_seconds)
-        report.searches["chess"] = chess.search()
-
-    for heuristic, ranked_accesses in ranked.items():
-        candidates = enumerate_candidates(events, csv_locs, ranked_accesses,
-                                          all_accesses=all_accesses)
-        report.candidate_count = len(candidates)
-        search = ChessXSearch(factory, candidates, target, thread_names,
-                              ranked_accesses, heuristic_name=heuristic,
-                              all_accesses=all_accesses,
-                              preemption_bound=config.preemption_bound,
-                              max_tries=config.chessx_max_tries,
-                              max_seconds=config.chessx_max_seconds)
-        report.searches[search.algorithm] = search.search()
-
-    report.timings = timings
-    return report
+    warnings.warn(
+        "repro.pipeline.reproduce() is deprecated; use "
+        "repro.ReproSession(bundle, config).report() — or drive the "
+        "stages individually (analyze_dump / diff_and_prioritize / "
+        "search)", DeprecationWarning, stacklevel=2)
+    session = ReproSession(bundle, config=config, failure_dump=failure_dump,
+                           input_overrides=input_overrides,
+                           stress_seeds=stress_seeds,
+                           expected_kind=expected_kind)
+    return session.report()

@@ -1,0 +1,141 @@
+"""Pluggable component registries for the reproduction pipeline.
+
+The pipeline is assembled from three kinds of interchangeable parts,
+each looked up by name in a :class:`Registry` (mirroring the bug-suite
+registry in :mod:`repro.bugs.registry`):
+
+:data:`ALIGNERS`
+    Aligned-point locators.  An entry is a factory
+    ``factory(failure_dump, index, analysis, on_aligned) -> hook`` where
+    the hook follows the aligner signal protocol (``on_before_step`` /
+    ``on_after_step``, ``.result`` set to an ``AlignmentResult``, the
+    ``on_aligned`` callback fired *at* the point).  Factories that need
+    the reverse-engineered failure index (Algorithm 1) are registered
+    with ``needs_index=True``; the session only pays the Algorithm 1
+    cost for those.  Built-ins: ``index``, ``instcount``, ``contextpc``.
+
+:data:`SEARCH_STRATEGIES`
+    Schedule-search strategies.  An entry is a factory
+    ``factory(ctx) -> ScheduleSearchBase`` over a
+    :class:`repro.search.strategies.SearchContext`.  Built-ins:
+    ``chess``, ``chessX`` and the ``chessX+<heuristic>`` family, which
+    resolves dynamically against :data:`HEURISTICS` so registering a new
+    heuristic immediately yields a matching strategy name.
+
+:data:`HEURISTICS`
+    CSV-access prioritizers (paper Sec. 4).  An entry is a callable
+    ``rank(accesses, ctx) -> list[CSVAccess]`` over a
+    :class:`repro.slicing.distance.HeuristicContext`.  Built-ins:
+    ``temporal``, ``dep``.
+
+Registries are populated at import time by the modules defining the
+components, so ``import repro`` (or importing any module that uses a
+registry) is enough to see every built-in.  Third-party components
+register with::
+
+    from repro.registry import SEARCH_STRATEGIES
+
+    @SEARCH_STRATEGIES.register("my-strategy")
+    def build_my_strategy(ctx):
+        return MySearch(ctx.execution_factory, ...)
+"""
+
+from .lang.errors import RegistryError
+
+
+class Registry:
+    """A named component registry with helpful unknown-name errors."""
+
+    def __init__(self, kind):
+        #: human-readable component kind, used in error messages
+        self.kind = kind
+        self._items = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, name, obj=None, **attrs):
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        Extra keyword ``attrs`` are attached to the registered object
+        (e.g. ``needs_index=True`` on aligner factories).  Duplicate
+        names are rejected; use :meth:`unregister` first to replace.
+        """
+        if obj is None:
+            def decorator(target):
+                self.register(name, target, **attrs)
+                return target
+            return decorator
+        if name in self._items:
+            raise RegistryError(
+                "duplicate %s %r (already registered)" % (self.kind, name))
+        for key, value in attrs.items():
+            setattr(obj, key, value)
+        self._items[name] = obj
+        return obj
+
+    def unregister(self, name):
+        """Remove ``name``; unknown names raise like :meth:`get`."""
+        self.get(name)
+        del self._items[name]
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, name):
+        """The component registered under ``name``.
+
+        Unknown names raise :class:`RegistryError` listing every valid
+        choice, so a typo in a config surfaces as an actionable message.
+        """
+        try:
+            return self._items[name]
+        except KeyError:
+            raise RegistryError(
+                "unknown %s %r; valid choices: %s"
+                % (self.kind, name, ", ".join(self.names()) or "(none)")
+            ) from None
+
+    def validate(self, name):
+        """Check ``name`` is registered (same errors as :meth:`get`)."""
+        self.get(name)
+        return name
+
+    def names(self):
+        """Registered names, sorted."""
+        return sorted(self._items)
+
+    def items(self):
+        return [(name, self._items[name]) for name in self.names()]
+
+    def __contains__(self, name):
+        return name in self._items
+
+    def __iter__(self):
+        return iter(self.names())
+
+    def __len__(self):
+        return len(self._items)
+
+    def __repr__(self):
+        return "Registry(%s: %s)" % (self.kind, ", ".join(self.names()))
+
+
+#: Aligned-point locator factories (``index``, ``instcount``, ...).
+ALIGNERS = Registry("aligner")
+
+#: Schedule-search strategy factories (``chess``, ``chessX+dep``, ...).
+SEARCH_STRATEGIES = Registry("search strategy")
+
+#: CSV-access prioritization heuristics (``temporal``, ``dep``, ...).
+HEURISTICS = Registry("heuristic")
+
+
+def ensure_builtins_registered():
+    """Import every module that registers built-in components.
+
+    Lookup sites call this so direct imports of a single submodule (for
+    example ``repro.pipeline.config`` alone) still see the full set of
+    built-ins without importing the whole package up front.
+    """
+    from . import indexing, search, slicing  # noqa: F401 (import-time effect)
+    from .search import strategies  # noqa: F401
+    from .slicing import distance  # noqa: F401

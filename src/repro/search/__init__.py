@@ -1,4 +1,4 @@
-"""Schedule search: CHESS baseline, Algorithm 2, baseline aligners."""
+"""Schedule search: CHESS baseline, Algorithm 2, strategies, aligners."""
 
 from .base import ScheduleSearchBase, SearchOutcome
 from .chess import ChessSearch
@@ -11,6 +11,12 @@ from .preemption import (
     PreemptionCandidate,
     enumerate_candidates,
     future_csvs_at,
+)
+from .strategies import (
+    SearchContext,
+    build_chessx,
+    resolve_strategy,
+    strategy_names,
 )
 
 __all__ = [
@@ -27,4 +33,8 @@ __all__ = [
     "PreemptionCandidate",
     "enumerate_candidates",
     "future_csvs_at",
+    "SearchContext",
+    "build_chessx",
+    "resolve_strategy",
+    "strategy_names",
 ]

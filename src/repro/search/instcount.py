@@ -21,6 +21,7 @@ from ..indexing.align import (
     AlignmentStatus,
     collect_static_uses,
 )
+from ..registry import ALIGNERS
 from ..runtime.events import StopExecution
 
 
@@ -113,3 +114,15 @@ class ContextPCAligner(_BaseAligner):
             return
         if not execution.threads[self.target].is_live():
             self._closest_at_exit(execution, effects)
+
+
+@ALIGNERS.register("instcount")
+def _build_instcount_aligner(failure_dump, index, analysis, on_aligned=None):
+    """Table 5 baseline: thread-local instruction-count alignment."""
+    return InstructionCountAligner(failure_dump, on_aligned=on_aligned)
+
+
+@ALIGNERS.register("contextpc")
+def _build_contextpc_aligner(failure_dump, index, analysis, on_aligned=None):
+    """Sec. 3 strawman: first (calling context, PC) match."""
+    return ContextPCAligner(failure_dump, on_aligned=on_aligned)

@@ -1,0 +1,140 @@
+"""Search strategies as pluggable registry components.
+
+A *strategy* turns a :class:`SearchContext` — the passing-run artifacts
+a :class:`~repro.pipeline.session.ReproSession` has accumulated — into a
+ready-to-run :class:`~repro.search.base.ScheduleSearchBase`.  Built-ins:
+
+``chess``
+    The unguided preemption-bounding baseline.
+``chessX+<heuristic>``
+    Algorithm 2 guided by any registered heuristic.  This family is
+    resolved dynamically against :data:`repro.registry.HEURISTICS`, so
+    registering a new heuristic immediately yields a matching strategy
+    name (``chessX+mine``) with no further wiring.
+``chessX``
+    Alias for ``chessX+<first configured heuristic>`` (``dep`` when the
+    config names none — the paper's best performer).
+
+Custom strategies register a factory; if the factory consumes a
+prioritized access ranking, name the heuristic at registration so the
+session prepares it::
+
+    @SEARCH_STRATEGIES.register("my-search", heuristic="dep")
+    def build_my_search(ctx):
+        return MySearch(ctx.execution_factory, ctx.candidates([]), ...)
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..lang.errors import RegistryError
+from ..registry import HEURISTICS, SEARCH_STRATEGIES
+from ..slicing import distance as _distance  # noqa: F401 (registers built-in heuristics)
+from .chess import ChessSearch
+from .chessx import ChessXSearch
+from .preemption import enumerate_candidates
+
+
+@dataclass
+class SearchContext:
+    """Everything a strategy factory may draw on to build a search."""
+
+    execution_factory: Callable        # (scheduler) -> Execution
+    target_signature: tuple            # Failure.signature() to reproduce
+    thread_names: list
+    config: object                     # ReproductionConfig
+    events: list                       # passing-run trace
+    csv_locs: frozenset                # CSV locations from the dump diff
+    all_accesses: list                 # CSV accesses over the whole trace
+    #: heuristic name -> prioritized accesses (aligned-point prefix)
+    ranked: dict = field(default_factory=dict)
+    #: optional resolver ``(heuristic) -> ranked accesses`` invoked when
+    #: ``ranked`` lacks an entry (the session wires its lazy ranking here)
+    rank_missing: Optional[Callable] = None
+    #: out-param: candidate count of the most recently built strategy
+    last_candidate_count: Optional[int] = None
+
+    def ranked_for(self, heuristic):
+        """The prioritized accesses for ``heuristic``, ranking on demand."""
+        if heuristic not in self.ranked and self.rank_missing is not None:
+            self.ranked[heuristic] = self.rank_missing(heuristic)
+        try:
+            return self.ranked[heuristic]
+        except KeyError:
+            raise RegistryError(
+                "no %r ranking prepared for this search context; available: %s"
+                % (heuristic, ", ".join(sorted(self.ranked)) or "(none)")
+            ) from None
+
+    def candidates(self, ranked_accesses):
+        """Preemption candidates annotated with ``ranked_accesses``."""
+        cands = enumerate_candidates(self.events, self.csv_locs,
+                                     ranked_accesses,
+                                     all_accesses=self.all_accesses)
+        self.last_candidate_count = len(cands)
+        return cands
+
+
+@SEARCH_STRATEGIES.register("chess")
+def build_chess(ctx):
+    """Plain CHESS: every candidate, no prioritization (Table 4 baseline)."""
+    config = ctx.config
+    return ChessSearch(ctx.execution_factory, ctx.candidates([]),
+                       ctx.target_signature, ctx.thread_names,
+                       preemption_bound=config.preemption_bound,
+                       max_tries=config.chess_max_tries,
+                       max_seconds=config.chess_max_seconds)
+
+
+def build_chessx(ctx, heuristic):
+    """Algorithm 2 guided by ``heuristic``'s access priorities."""
+    config = ctx.config
+    ranked = ctx.ranked_for(heuristic)
+    return ChessXSearch(ctx.execution_factory, ctx.candidates(ranked),
+                        ctx.target_signature, ctx.thread_names, ranked,
+                        heuristic_name=heuristic,
+                        all_accesses=ctx.all_accesses,
+                        preemption_bound=config.preemption_bound,
+                        max_tries=config.chessx_max_tries,
+                        max_seconds=config.chessx_max_seconds)
+
+
+@SEARCH_STRATEGIES.register("chessX")
+def build_chessx_default(ctx):
+    """chessX with the first configured heuristic (``dep`` by default)."""
+    heuristics = tuple(getattr(ctx.config, "heuristics", ())) or ("dep",)
+    return build_chessx(ctx, heuristics[0])
+
+
+def strategy_names():
+    """Every invokable strategy name, including the chessX+* family."""
+    names = set(SEARCH_STRATEGIES.names())
+    names.update("chessX+%s" % h for h in HEURISTICS.names())
+    return sorted(names)
+
+
+def resolve_strategy(name, config=None):
+    """Resolve ``name`` to ``(canonical_name, factory, heuristic)``.
+
+    ``heuristic`` is the registered heuristic the strategy consumes
+    (``None`` for unguided strategies); the session prepares its ranking
+    before calling the factory.  ``chessX`` canonicalizes to
+    ``chessX+<heuristic>`` so memoization and report keys carry the
+    paper's names.  Unknown names raise listing every valid choice.
+    """
+    if name == "chessX":
+        heuristics = (tuple(config.heuristics) if config is not None else ()) \
+            or ("dep",)
+        name = "chessX+%s" % heuristics[0]
+    if name in SEARCH_STRATEGIES:
+        factory = SEARCH_STRATEGIES.get(name)
+        return name, factory, getattr(factory, "heuristic", None)
+    if name.startswith("chessX+"):
+        heuristic = name.split("+", 1)[1]
+        if heuristic in HEURISTICS:
+            return (name,
+                    lambda ctx, _h=heuristic: build_chessx(ctx, _h),
+                    heuristic)
+    raise RegistryError(
+        "unknown search strategy %r; valid choices: %s"
+        % (name, ", ".join(strategy_names())))

@@ -2,6 +2,7 @@
 
 from .distance import (
     CSVAccess,
+    HeuristicContext,
     extract_csv_accesses,
     rank_dependence,
     rank_temporal,
@@ -11,6 +12,7 @@ from .trace import TraceCollector, TraceEvent
 
 __all__ = [
     "CSVAccess",
+    "HeuristicContext",
     "extract_csv_accesses",
     "rank_dependence",
     "rank_temporal",

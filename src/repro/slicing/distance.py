@@ -12,8 +12,11 @@ the aligned point, then rank:
   likely not relevant to the failure".
 """
 
-from dataclasses import dataclass, replace
+import time
+from dataclasses import dataclass, field, replace
 from typing import Optional
+
+from ..registry import HEURISTICS
 
 
 @dataclass(frozen=True)
@@ -74,3 +77,49 @@ def rank_dependence(accesses, slice_distances):
     ranked += [replace(a, priority=None) for a in out_slice]
     ranked.sort(key=lambda a: a.step)
     return ranked
+
+
+# ---------------------------------------------------------------------------
+# registry entries: heuristics as pluggable components
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class HeuristicContext:
+    """What a registered heuristic may draw on beyond the accesses.
+
+    Carries the passing-run trace and the alignment's slicing criterion;
+    the dynamic slice is computed lazily (and once) so heuristics that
+    never ask for it — e.g. ``temporal`` — do not pay for slicing.
+    ``slicing_s`` accumulates the one-time slicing cost (Table 6).
+    """
+
+    events: list
+    criterion_locs: tuple
+    criterion_step: Optional[int]
+    slicing_s: float = 0.0
+    _distances: Optional[dict] = field(default=None, repr=False)
+
+    def slice_distances(self):
+        """Dependence distances of the backward slice, memoized."""
+        if self._distances is None:
+            from .slicer import DynamicSlicer
+
+            start = time.perf_counter()
+            slicer = DynamicSlicer(self.events)
+            self._distances = slicer.slice_from(
+                self.criterion_locs, criterion_step=self.criterion_step)
+            self.slicing_s += time.perf_counter() - start
+        return self._distances
+
+
+@HEURISTICS.register("temporal")
+def _temporal_heuristic(accesses, ctx):
+    """Temporal distance to the aligned point (paper Sec. 4)."""
+    return rank_temporal(accesses)
+
+
+@HEURISTICS.register("dep")
+def _dependence_heuristic(accesses, ctx):
+    """Dependence distance over the dynamic slice (paper Sec. 4)."""
+    return rank_dependence(accesses, ctx.slice_distances())
