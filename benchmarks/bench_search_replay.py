@@ -1,0 +1,161 @@
+"""From-scratch vs. prefix-replay schedule search.
+
+For every registry bug the same strategy suite (chess, chessX+dep,
+chessX+temporal) runs twice against one failure dump: once executing
+every testrun from step 0 and once through the session's shared
+:class:`~repro.search.replay.ReplayEngine`.  Outcomes must be
+identical — same plans, tries, and logical step totals — while the
+replay side executes only divergent suffixes (plus the one-time prefix
+recording, which is charged to ``executed_steps``, never hidden).
+
+Results are merged into ``BENCH_search.json`` at the repository root so
+the search-stage perf trajectory is recorded across PRs.  On fig1 the
+acceptance bar is asserted: the engine never executes more steps than
+from-scratch, and the guided search on the warm shared engine executes
+at least 40% fewer.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline import ReproductionConfig
+
+from .conftest import print_table, session_for
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_search.json"
+BENCH_SCHEMA = "repro.bench_search/1"
+STRATEGIES = ("chess", "chessX+dep", "chessX+temporal")
+
+#: large wall budgets so both modes cut off on tries, never on wall
+#: time — otherwise try counts (and the equivalence) would depend on
+#: machine speed
+_CONFIG_KW = dict(chess_max_seconds=10_000.0, chessx_max_seconds=10_000.0)
+
+
+def _timed_searches(session):
+    """strategy -> (outcome, wall_seconds) in suite order."""
+    timed = {}
+    for strategy in STRATEGIES:
+        start = time.perf_counter()
+        outcome = session.search(strategy)
+        timed[strategy] = (outcome, time.perf_counter() - start)
+    return timed
+
+
+@pytest.fixture(scope="session")
+def replay_comparison(suite):
+    """Per bug: both modes of the full strategy suite, one failure dump."""
+    comparison = {}
+    for scenario, bundle, session in suite:
+        scratch = session_for(
+            scenario, bundle,
+            config=ReproductionConfig(replay=False, **_CONFIG_KW),
+            failure_dump=session.failure_dump)
+        replay = session_for(
+            scenario, bundle,
+            config=ReproductionConfig(replay=True, **_CONFIG_KW),
+            failure_dump=session.failure_dump)
+        comparison[scenario.name] = {
+            "scratch": _timed_searches(scratch),
+            "replay": _timed_searches(replay),
+            "engine": replay.replay_engine().stats(),
+        }
+    return comparison
+
+
+def _savings_pct(scratch_steps, replay_steps):
+    if scratch_steps == 0:
+        return 0.0
+    return 100.0 * (1.0 - replay_steps / scratch_steps)
+
+
+def test_replay_outcomes_identical(replay_comparison):
+    """Replay must change the cost, never the answer."""
+    for name, modes in replay_comparison.items():
+        for strategy in STRATEGIES:
+            a, _ = modes["scratch"][strategy]
+            b, _ = modes["replay"][strategy]
+            assert a.plan == b.plan, (name, strategy)
+            assert a.tries == b.tries, (name, strategy)
+            assert a.reproduced == b.reproduced, (name, strategy)
+            assert a.total_steps == b.total_steps, (name, strategy)
+
+
+def test_replay_table_and_baseline(replay_comparison):
+    headers = ["bug", "strategy", "tries", "total steps",
+               "scratch exec", "replay exec", "skipped", "saved",
+               "scratch time", "replay time"]
+    rows = []
+    doc = {"schema": BENCH_SCHEMA, "scenarios": {}}
+    if BENCH_PATH.exists():
+        try:
+            existing = json.loads(BENCH_PATH.read_text())
+            if existing.get("schema") == BENCH_SCHEMA:
+                doc["scenarios"].update(existing.get("scenarios", {}))
+        except (ValueError, OSError):
+            pass
+
+    for name, modes in replay_comparison.items():
+        scenario_doc = {"strategies": {}, "engine": modes["engine"]}
+        suite_scratch = suite_replay = 0
+        for strategy in STRATEGIES:
+            a, wall_a = modes["scratch"][strategy]
+            b, wall_b = modes["replay"][strategy]
+            suite_scratch += a.executed_steps
+            suite_replay += b.executed_steps
+            saved = _savings_pct(a.executed_steps, b.executed_steps)
+            rows.append([name, strategy, b.tries, b.total_steps,
+                         a.executed_steps, b.executed_steps,
+                         b.skipped_steps, "%.1f%%" % saved,
+                         "%.3fs" % wall_a, "%.3fs" % wall_b])
+            scenario_doc["strategies"][strategy] = {
+                "tries": b.tries,
+                "reproduced": b.reproduced,
+                "total_steps": b.total_steps,
+                "scratch_executed_steps": a.executed_steps,
+                "replay_executed_steps": b.executed_steps,
+                "replay_skipped_steps": b.skipped_steps,
+                "savings_pct": round(saved, 2),
+                "scratch_wall_s": round(wall_a, 4),
+                "replay_wall_s": round(wall_b, 4),
+            }
+        scenario_doc["suite"] = {
+            "scratch_executed_steps": suite_scratch,
+            "replay_executed_steps": suite_replay,
+            "savings_pct": round(_savings_pct(suite_scratch, suite_replay), 2),
+        }
+        doc["scenarios"][name] = scenario_doc
+        rows.append([name, "SUITE", "", "", suite_scratch, suite_replay, "",
+                     "%.1f%%" % _savings_pct(suite_scratch, suite_replay),
+                     "", ""])
+
+    print_table("Search: from-scratch vs prefix-replay (identical outcomes)",
+                headers, rows)
+    BENCH_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    # the engine must never execute more than from-scratch on any bug
+    for name, modes in replay_comparison.items():
+        suite_scratch = sum(modes["scratch"][s][0].executed_steps
+                            for s in STRATEGIES)
+        suite_replay = sum(modes["replay"][s][0].executed_steps
+                           for s in STRATEGIES)
+        assert suite_replay <= suite_scratch, name
+
+
+def test_fig1_acceptance(replay_comparison):
+    """fig1 bar: identical plan, >= 40% fewer executed steps (guided)."""
+    if "fig1" not in replay_comparison:
+        pytest.skip("fig1 not in REPRO_BENCH_SCENARIOS selection")
+    modes = replay_comparison["fig1"]
+    scratch_suite = sum(modes["scratch"][s][0].executed_steps
+                        for s in STRATEGIES)
+    replay_suite = sum(modes["replay"][s][0].executed_steps
+                       for s in STRATEGIES)
+    assert replay_suite < scratch_suite
+    dep_scratch, _ = modes["scratch"]["chessX+dep"]
+    dep_replay, _ = modes["replay"]["chessX+dep"]
+    assert dep_replay.plan == dep_scratch.plan
+    assert dep_replay.executed_steps <= 0.6 * dep_scratch.executed_steps

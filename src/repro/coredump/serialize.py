@@ -7,11 +7,22 @@ GDB's string interface; ours is JSON decode plus reconstruction).
 """
 
 import json
+import sys
 
 from ..lang.errors import DumpError
 from ..lang.values import Pointer
 from ..runtime.events import Failure
 from .dump import CoreDump, FrameDump, ThreadDump
+
+#: Integers whose decimal rendering would trip CPython's int->str
+#: conversion limit (default 4300 digits) cannot pass through
+#: ``json.dumps``; they are hex-encoded instead (hex conversion is
+#: exempt from the limit).  The threshold stays safely below the limit:
+#: a ``_BIG_INT_BITS``-bit integer has ~log10(2) * bits decimal digits.
+#: A limit of 0 means conversion is unlimited — nothing needs encoding.
+_INT_DIGIT_LIMIT = getattr(sys, "get_int_max_str_digits", lambda: 4300)()
+_BIG_INT_BITS = (float("inf") if _INT_DIGIT_LIMIT <= 0
+                 else max(64, int((_INT_DIGIT_LIMIT - 16) * 3.321)))
 
 
 def _encode_value(value):
@@ -19,6 +30,8 @@ def _encode_value(value):
         return {"$ptr": value.obj_id}
     if isinstance(value, bool) or value is None:
         return value
+    if isinstance(value, int) and value.bit_length() > _BIG_INT_BITS:
+        return {"$bigint": hex(value)}
     if isinstance(value, (int, float, str)):
         return value
     raise DumpError("unserializable value %r" % (value,))
@@ -28,6 +41,8 @@ def _decode_value(value):
     if isinstance(value, dict):
         if "$ptr" in value:
             return Pointer(value["$ptr"])
+        if "$bigint" in value:
+            return int(value["$bigint"], 16)
         raise DumpError("unknown encoded value %r" % (value,))
     return value
 

@@ -25,6 +25,13 @@ class ReproductionConfig:
     chessx_max_tries: int = 3000
     chessx_max_seconds: float = 120.0
     testrun_max_steps: int = 500_000
+    #: serve testruns from prefix checkpoints instead of re-executing
+    #: the deterministic prefix (identical outcomes, fewer executed
+    #: steps); disable to measure or debug from-scratch behaviour
+    replay: bool = True
+    #: checkpoint-cache bounds of the replay engine
+    replay_max_checkpoints: int = 64
+    replay_max_bytes: int = 64 * 1024 * 1024
 
     def __post_init__(self):
         self.heuristics = tuple(self.heuristics)
@@ -36,6 +43,10 @@ class ReproductionConfig:
         ALIGNERS.validate(self.aligner)
         for heuristic in self.heuristics:
             HEURISTICS.validate(heuristic)
+        if self.replay_max_checkpoints < 1:
+            raise ValueError("replay_max_checkpoints must be >= 1")
+        if self.replay_max_bytes < 1:
+            raise ValueError("replay_max_bytes must be >= 1")
         return self
 
     def strategy_names(self):

@@ -228,6 +228,8 @@ def _encode_outcome(outcome):
         "reproduced": outcome.reproduced,
         "tries": outcome.tries,
         "total_steps": outcome.total_steps,
+        "executed_steps": outcome.executed_steps,
+        "skipped_steps": outcome.skipped_steps,
         "wall_seconds": outcome.wall_seconds,
         "plan": None if outcome.plan is None
         else [asdict(p) for p in outcome.plan],
@@ -244,6 +246,10 @@ def _decode_outcome(doc):
         reproduced=doc["reproduced"],
         tries=doc["tries"],
         total_steps=doc["total_steps"],
+        # additive repro.report/1 fields: absent in documents written
+        # before the replay engine existed
+        executed_steps=doc.get("executed_steps", doc["total_steps"]),
+        skipped_steps=doc.get("skipped_steps", 0),
         wall_seconds=doc["wall_seconds"],
         plan=None if doc["plan"] is None
         else [PlannedPreemption(**p) for p in doc["plan"]],

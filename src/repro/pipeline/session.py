@@ -43,6 +43,8 @@ from ..indexing.reverse import reverse_engineer_index
 from ..lang.errors import SearchError
 from ..registry import ALIGNERS, HEURISTICS
 from ..runtime.scheduler import DeterministicScheduler
+from ..search.preemption import enumerate_candidates
+from ..search.replay import ReplayEngine
 from ..search.strategies import SearchContext, resolve_strategy
 from ..slicing.distance import HeuristicContext, extract_csv_accesses
 from ..slicing.trace import TraceCollector
@@ -159,6 +161,7 @@ class ReproSession:
         self._heuristic_ctx: Optional[HeuristicContext] = None
         self._searches: dict = {}
         self._candidate_counts: dict = {}
+        self._replay_engine: Optional[ReplayEngine] = None
         #: stage name -> number of times the stage actually executed
         #: (memoized hits do not count); lets callers verify reuse
         self.stage_runs = {"stress": 0, "analyze": 0, "diff": 0, "search": 0}
@@ -278,6 +281,25 @@ class ReproSession:
 
     # -- stage 3: schedule search ----------------------------------------------------
 
+    def replay_engine(self):
+        """The session's shared prefix-replay engine (None when disabled).
+
+        Built once from the passing run's preemption-candidate keys —
+        which are identical for every strategy and heuristic — so
+        prefix checkpoints recorded during one search are reused by
+        every later search of this session.
+        """
+        if not self.config.replay:
+            return None
+        if self._replay_engine is None:
+            analysis = self.analyze_dump()
+            candidates = enumerate_candidates(analysis.events, frozenset(), [])
+            self._replay_engine = ReplayEngine(
+                self._execution_factory, candidates,
+                max_checkpoints=self.config.replay_max_checkpoints,
+                max_bytes=self.config.replay_max_bytes)
+        return self._replay_engine
+
     def search(self, strategy=None):
         """Run one search strategy; memoized per canonical strategy name.
 
@@ -305,6 +327,7 @@ class ReproSession:
                 all_accesses=plan.all_accesses,
                 ranked=plan.ranked,
                 rank_missing=self._ranked_for,
+                replay_engine=self.replay_engine(),
             )
             search = factory(ctx)
             self._candidate_counts[name] = ctx.last_candidate_count

@@ -1,6 +1,11 @@
 """Execution substrate: interpreter, heap, threads, schedulers, checkpoints."""
 
-from .checkpoint import Checkpoint, restore_checkpoint, take_checkpoint
+from .checkpoint import (
+    Checkpoint,
+    checkpoint_nbytes,
+    restore_checkpoint,
+    take_checkpoint,
+)
 from .events import (
     Failure,
     StepEffects,
@@ -22,6 +27,7 @@ from .sync import LockTable
 
 __all__ = [
     "Checkpoint",
+    "checkpoint_nbytes",
     "restore_checkpoint",
     "take_checkpoint",
     "Failure",

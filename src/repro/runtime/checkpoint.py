@@ -7,6 +7,7 @@ AST nodes and compiled instructions are shared (immutable by
 convention).
 """
 
+import sys
 from dataclasses import dataclass
 
 from .frames import Frame, RegionEntry, ThreadState
@@ -81,6 +82,42 @@ def take_checkpoint(execution, scheduler_state=None):
         status=execution.status,
         scheduler_state=scheduler_state,
     )
+
+
+def _deep_nbytes(obj, seen):
+    """Recursive ``sys.getsizeof`` over the checkpoint's object graph."""
+    oid = id(obj)
+    if oid in seen:
+        return 0
+    seen.add(oid)
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            size += _deep_nbytes(key, seen)
+            size += _deep_nbytes(value, seen)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += _deep_nbytes(item, seen)
+    else:
+        if hasattr(obj, "__dict__"):
+            size += _deep_nbytes(vars(obj), seen)
+        # slotted objects (HeapStruct/HeapArray) have no __dict__; their
+        # payload is behind __slots__ and dominates heap checkpoints
+        for cls in type(obj).__mro__:
+            for slot in getattr(cls, "__slots__", ()):
+                if hasattr(obj, slot):
+                    size += _deep_nbytes(getattr(obj, slot), seen)
+    return size
+
+
+def checkpoint_nbytes(checkpoint):
+    """Approximate in-memory footprint of ``checkpoint``.
+
+    Used by the replay engine's cache to enforce its byte budget; an
+    estimate (shared immutable AST/instruction objects are counted once
+    per checkpoint at most), but proportional to the real cost.
+    """
+    return _deep_nbytes(checkpoint, set())
 
 
 def restore_checkpoint(execution, checkpoint):

@@ -12,6 +12,13 @@ predicate's immediate post-dominator — EI rules 3 and 4) and, when
 ``instrument_loops`` is set, live ``while``-loop iteration counters (the
 paper's only production-run instrumentation; its cost is what Fig. 10
 measures).
+
+This module is the hottest path in the codebase — every testrun of every
+schedule search funnels through :meth:`Execution.step`.  Opcodes dispatch
+through a class-level table of bound handlers rather than an ``if/elif``
+chain, the instruction array is cached on the execution, and
+:meth:`Execution.run` resolves hook and scheduler-observer methods once
+per run instead of per step.
 """
 
 from dataclasses import dataclass
@@ -100,6 +107,10 @@ class Execution:
         self.analysis = analysis
         self.program = compiled.program
         self.scheduler = scheduler
+        #: direct reference to the instruction array — ``self._instrs[pc]``
+        #: skips a method call on the hottest lookups
+        self._instrs = compiled.instrs
+        self._thread_order = [spec.name for spec in compiled.program.threads]
         self.instrument_loops = instrument_loops
         self.hooks = list(hooks)
         self.max_steps = max_steps
@@ -303,7 +314,7 @@ class Execution:
         """READY and not blocked on a lock held by another thread."""
         if thread.status is not ThreadStatus.READY:
             return False
-        instr = self.compiled.instr(thread.pc)
+        instr = self._instrs[thread.pc]
         if instr.op is Opcode.ACQUIRE:
             owner = self.locks.owner(instr.lock)
             if owner is not None and owner != thread.name:
@@ -312,8 +323,9 @@ class Execution:
 
     def runnable_threads(self):
         """Names of runnable threads, in canonical program order."""
-        return [spec.name for spec in self.program.threads
-                if self.thread_runnable(self.threads[spec.name])]
+        threads = self.threads
+        return [name for name in self._thread_order
+                if self.thread_runnable(threads[name])]
 
     def live_threads(self):
         return [t.name for t in self.threads.values() if t.is_live()]
@@ -332,7 +344,7 @@ class Execution:
         frame = thread.current_frame
         pc = frame.pc
         self._pop_regions(frame, pc)
-        instr = self.compiled.instr(pc)
+        instr = self._instrs[pc]
         effects = StepEffects(thread=thread_name, step=self.step_count,
                               pc=pc, op=instr.op)
         if thread.started_at is None:
@@ -351,84 +363,130 @@ class Execution:
         return effects
 
     def _execute(self, instr, thread, frame, effects):
-        op = instr.op
-        if op is Opcode.ASSIGN:
+        handler = self._DISPATCH.get(instr.op)
+        if handler is None:
+            raise InterpreterError("unknown opcode %r" % (instr.op,))
+        handler(self, instr, thread, frame, effects)
+
+    def _exec_assign(self, instr, thread, frame, effects):
+        value = self._eval(instr.expr, thread, frame, effects.uses)
+        self._assign_into(instr.target, value, thread, frame,
+                          effects.uses, effects.defs)
+        frame.pc += 1
+
+    def _exec_branch(self, instr, thread, frame, effects):
+        value = self._eval(instr.cond, thread, frame, effects.uses)
+        outcome = self._truthy(value)
+        effects.branch_outcome = outcome
+        exit_pc = self.analysis.region_exit(instr.pc)
+        frame.region_stack.append(RegionEntry(
+            pred_pc=instr.pc, outcome=outcome, exit_pc=exit_pc,
+            step=self.step_count,
+            loop_id=instr.loop_id if instr.is_loop else None))
+        if instr.is_loop and outcome and instr.counter_var is None \
+                and self.instrument_loops:
+            counters = frame.loop_counters
+            counters[instr.loop_id] = counters.get(instr.loop_id, 0) + 1
+        frame.pc = instr.t_target if outcome else instr.f_target
+
+    def _exec_jump(self, instr, thread, frame, effects):
+        frame.pc = instr.jump_target
+
+    def _exec_nop(self, instr, thread, frame, effects):
+        frame.pc += 1
+
+    def _exec_call(self, instr, thread, frame, effects):
+        args = [self._eval(a, thread, frame, effects.uses)
+                for a in instr.args]
+        fc = self.compiled.func_code(instr.callee)
+        if len(args) != len(fc.params):
+            raise InterpreterError(
+                "call %s: %d args for %d params"
+                % (instr.callee, len(args), len(fc.params)))
+        new_frame = self._new_frame(
+            instr.callee, zip(fc.params, args), ret_target=instr.target,
+            return_to=instr.pc + 1, call_step=self.step_count)
+        thread.frames.append(new_frame)
+        effects.call = instr.callee
+        effects.entered_frame = True
+
+    def _exec_return(self, instr, thread, frame, effects):
+        value = None
+        if instr.expr is not None:
             value = self._eval(instr.expr, thread, frame, effects.uses)
-            self._assign_into(instr.target, value, thread, frame,
-                              effects.uses, effects.defs)
-            frame.pc += 1
-        elif op is Opcode.BRANCH:
-            value = self._eval(instr.cond, thread, frame, effects.uses)
-            outcome = self._truthy(value)
-            effects.branch_outcome = outcome
-            exit_pc = self.analysis.region_exit(instr.pc)
-            frame.region_stack.append(RegionEntry(
-                pred_pc=instr.pc, outcome=outcome, exit_pc=exit_pc,
-                step=self.step_count,
-                loop_id=instr.loop_id if instr.is_loop else None))
-            if instr.is_loop and outcome and instr.counter_var is None \
-                    and self.instrument_loops:
-                counters = frame.loop_counters
-                counters[instr.loop_id] = counters.get(instr.loop_id, 0) + 1
-            frame.pc = instr.t_target if outcome else instr.f_target
-        elif op is Opcode.JUMP:
-            frame.pc = instr.jump_target
-        elif op is Opcode.NOP:
-            frame.pc += 1
-        elif op is Opcode.CALL:
-            args = [self._eval(a, thread, frame, effects.uses)
-                    for a in instr.args]
-            fc = self.compiled.func_code(instr.callee)
-            if len(args) != len(fc.params):
-                raise InterpreterError(
-                    "call %s: %d args for %d params"
-                    % (instr.callee, len(args), len(fc.params)))
-            new_frame = self._new_frame(
-                instr.callee, zip(fc.params, args), ret_target=instr.target,
-                return_to=instr.pc + 1, call_step=self.step_count)
-            thread.frames.append(new_frame)
-            effects.call = instr.callee
-            effects.entered_frame = True
-        elif op is Opcode.RETURN:
-            value = None
-            if instr.expr is not None:
-                value = self._eval(instr.expr, thread, frame, effects.uses)
-            popped = thread.frames.pop()
-            effects.ret_from = popped.func
-            if thread.frames:
-                caller = thread.current_frame
-                caller.pc = popped.return_to
-                if popped.ret_target is not None:
-                    self._assign_into(popped.ret_target, value, thread, caller,
-                                      effects.uses, effects.defs)
-            else:
-                thread.status = ThreadStatus.DONE
-        elif op is Opcode.ACQUIRE:
-            self.locks.acquire(instr.lock, thread.name, pc=instr.pc)
-            effects.sync = ("acquire", instr.lock)
-            frame.pc += 1
-        elif op is Opcode.RELEASE:
-            self.locks.release(instr.lock, thread.name, pc=instr.pc)
-            effects.sync = ("release", instr.lock)
-            frame.pc += 1
-        elif op is Opcode.ASSERT:
-            value = self._eval(instr.cond, thread, frame, effects.uses)
-            if not self._truthy(value):
-                raise AssertionFault(instr.message, pc=instr.pc,
-                                     thread=thread.name)
-            frame.pc += 1
-        elif op is Opcode.OUTPUT:
-            value = self._eval(instr.expr, thread, frame, effects.uses)
-            self.output.append((thread.name, value))
-            effects.output_value = value
-            frame.pc += 1
+        popped = thread.frames.pop()
+        effects.ret_from = popped.func
+        if thread.frames:
+            caller = thread.current_frame
+            caller.pc = popped.return_to
+            if popped.ret_target is not None:
+                self._assign_into(popped.ret_target, value, thread, caller,
+                                  effects.uses, effects.defs)
         else:
-            raise InterpreterError("unknown opcode %r" % (op,))
+            thread.status = ThreadStatus.DONE
+
+    def _exec_acquire(self, instr, thread, frame, effects):
+        self.locks.acquire(instr.lock, thread.name, pc=instr.pc)
+        effects.sync = ("acquire", instr.lock)
+        frame.pc += 1
+
+    def _exec_release(self, instr, thread, frame, effects):
+        self.locks.release(instr.lock, thread.name, pc=instr.pc)
+        effects.sync = ("release", instr.lock)
+        frame.pc += 1
+
+    def _exec_assert(self, instr, thread, frame, effects):
+        value = self._eval(instr.cond, thread, frame, effects.uses)
+        if not self._truthy(value):
+            raise AssertionFault(instr.message, pc=instr.pc,
+                                 thread=thread.name)
+        frame.pc += 1
+
+    def _exec_output(self, instr, thread, frame, effects):
+        value = self._eval(instr.expr, thread, frame, effects.uses)
+        self.output.append((thread.name, value))
+        effects.output_value = value
+        frame.pc += 1
+
+    #: opcode -> unbound handler; resolved once at class-definition time
+    _DISPATCH = {
+        Opcode.ASSIGN: _exec_assign,
+        Opcode.BRANCH: _exec_branch,
+        Opcode.JUMP: _exec_jump,
+        Opcode.NOP: _exec_nop,
+        Opcode.CALL: _exec_call,
+        Opcode.RETURN: _exec_return,
+        Opcode.ACQUIRE: _exec_acquire,
+        Opcode.RELEASE: _exec_release,
+        Opcode.ASSERT: _exec_assert,
+        Opcode.OUTPUT: _exec_output,
+    }
 
     # -- the run loop ----------------------------------------------------------
 
+    def _bound_hook_methods(self, name):
+        """Pre-resolved ``name`` methods of the hooks, in hook order."""
+        methods = []
+        for hook in self.hooks:
+            method = getattr(hook, name, None)
+            if method is not None:
+                methods.append(method)
+        return methods
+
     def run(self):
-        """Drive the execution to completion, failure, deadlock, or stop."""
+        """Drive the execution to completion, failure, deadlock, or stop.
+
+        Hook and scheduler-observer methods are resolved once up front;
+        the per-step loop only calls pre-bound callables (hooks must be
+        fully installed before ``run`` is entered).
+        """
+        before_hooks = self._bound_hook_methods("on_before_step")
+        after_hooks = self._bound_hook_methods("on_after_step")
+        failure_hooks = self._bound_hook_methods("on_failure")
+        observe = getattr(self.scheduler, "observe", None)
+        pick = self.scheduler.pick
+        instrs = self._instrs
+        threads = self.threads
         try:
             while self.status == ExecutionStatus.RUNNING:
                 runnable = self.runnable_threads()
@@ -438,29 +496,21 @@ class Execution:
                     else:
                         self.status = ExecutionStatus.COMPLETED
                     break
-                name = self.scheduler.pick(self, runnable)
+                name = pick(self, runnable)
                 if name not in runnable:
                     raise InterpreterError(
                         "scheduler picked non-runnable thread %r" % (name,))
-                for hook in self.hooks:
-                    before = getattr(hook, "on_before_step", None)
-                    if before is not None:
-                        before(self, name, self.compiled.instr(
-                            self.threads[name].pc))
+                for before in before_hooks:
+                    before(self, name, instrs[threads[name].pc])
                 effects = self.step(name)
-                observe = getattr(self.scheduler, "observe", None)
                 if observe is not None:
                     observe(self, effects)
                 if self.failure is not None:
-                    for hook in self.hooks:
-                        on_failure = getattr(hook, "on_failure", None)
-                        if on_failure is not None:
-                            on_failure(self, self.failure)
+                    for on_failure in failure_hooks:
+                        on_failure(self, self.failure)
                     break
-                for hook in self.hooks:
-                    after = getattr(hook, "on_after_step", None)
-                    if after is not None:
-                        after(self, effects)
+                for after in after_hooks:
+                    after(self, effects)
                 if self.step_count >= self.max_steps:
                     self.status = ExecutionStatus.STOPPED
                     self.stop_reason = "max-steps"

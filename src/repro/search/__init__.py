@@ -2,15 +2,21 @@
 
 from .base import ScheduleSearchBase, SearchOutcome
 from .chess import ChessSearch
-from .chessx import ChessXSearch, FutureCSVIndex
+from .chessx import ChessXSearch
 from .instcount import ContextPCAligner, InstructionCountAligner
 from .preemption import (
     BOTTOM_WEIGHT,
+    FutureCSVIndex,
     PlannedPreemption,
     PreemptingScheduler,
     PreemptionCandidate,
     enumerate_candidates,
     future_csvs_at,
+)
+from .replay import (
+    CheckpointCache,
+    ReplayEngine,
+    SchedulerPrefixState,
 )
 from .strategies import (
     SearchContext,
@@ -33,6 +39,9 @@ __all__ = [
     "PreemptionCandidate",
     "enumerate_candidates",
     "future_csvs_at",
+    "CheckpointCache",
+    "ReplayEngine",
+    "SchedulerPrefixState",
     "SearchContext",
     "build_chessx",
     "resolve_strategy",

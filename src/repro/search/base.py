@@ -11,7 +11,17 @@ from .preemption import PlannedPreemption, PreemptingScheduler
 
 @dataclass
 class SearchOutcome:
-    """Result of one schedule search (a Table 4 / Table 5 cell pair)."""
+    """Result of one schedule search (a Table 4 / Table 5 cell pair).
+
+    Step accounting distinguishes *logical* from *physical* work:
+    ``total_steps`` counts every step of every testrun's schedule (the
+    paper's cost metric — identical whether or not prefix replay is on),
+    while ``executed_steps`` counts steps the interpreter actually
+    performed (divergent suffixes plus any prefix-recording runs) and
+    ``skipped_steps`` counts steps served from checkpoints instead of
+    re-execution.  Without a replay engine ``executed_steps ==
+    total_steps`` and ``skipped_steps == 0``.
+    """
 
     algorithm: str
     reproduced: bool
@@ -23,13 +33,20 @@ class SearchOutcome:
     failure: object = None
     #: tries broken down by preemption-combination size
     tries_by_size: dict = field(default_factory=dict)
+    #: interpreter steps actually executed (suffixes + prefix recording)
+    executed_steps: int = 0
+    #: steps restored from checkpoints instead of re-executed
+    skipped_steps: int = 0
 
     def describe(self):
         state = "reproduced" if self.reproduced else (
             "CUTOFF" if self.cutoff else "exhausted")
-        return "%s: %s after %d tries (%d steps, %.2fs)" % (
+        saved = ""
+        if self.skipped_steps:
+            saved = ", %d replay-skipped" % self.skipped_steps
+        return "%s: %s after %d tries (%d steps, %d executed%s, %.2fs)" % (
             self.algorithm, state, self.tries, self.total_steps,
-            self.wall_seconds)
+            self.executed_steps, saved, self.wall_seconds)
 
 
 class ScheduleSearchBase:
@@ -51,13 +68,18 @@ class ScheduleSearchBase:
     max_tries / max_seconds:
         Search budget; exceeding either marks the outcome as cutoff (the
         paper cut plain CHESS off at 18 hours).
+    replay_engine:
+        Optional :class:`~repro.search.replay.ReplayEngine`.  When set,
+        each testrun resumes from the checkpoint at its plan's earliest
+        preemption instead of re-executing the deterministic prefix;
+        outcomes are identical, only ``executed_steps`` shrinks.
     """
 
     algorithm = "base"
 
     def __init__(self, execution_factory, candidates, target_signature,
                  thread_names, preemption_bound=2, max_tries=5000,
-                 max_seconds=300.0):
+                 max_seconds=300.0, replay_engine=None):
         self.execution_factory = execution_factory
         self.candidates = list(candidates)
         self.target_signature = target_signature
@@ -65,19 +87,37 @@ class ScheduleSearchBase:
         self.preemption_bound = preemption_bound
         self.max_tries = max_tries
         self.max_seconds = max_seconds
+        self.replay_engine = replay_engine
         self.tries = 0
         self.total_steps = 0
+        self.executed_steps = 0
+        self.skipped_steps = 0
         self.tries_by_size = {}
 
     # -- single testrun ---------------------------------------------------------
 
     def testrun(self, plan):
-        """Execute one schedule; returns (reproduced, RunResult)."""
+        """Execute one schedule; returns (reproduced, RunResult).
+
+        With a replay engine the run resumes from the plan's earliest
+        preemption checkpoint (``resume_from`` path); the replayed
+        prefix counts into ``skipped_steps``, and any steps the engine
+        spent recording prefixes for this run are drained into
+        ``executed_steps`` so the savings are reported honestly.
+        """
         scheduler = PreemptingScheduler(plan)
-        execution = self.execution_factory(scheduler)
+        engine = self.replay_engine
+        if engine is not None:
+            execution, resume_from = engine.resume(scheduler, plan)
+        else:
+            execution, resume_from = self.execution_factory(scheduler), 0
         result = execution.run()
         self.tries += 1
         self.total_steps += result.steps
+        self.skipped_steps += resume_from
+        self.executed_steps += result.steps - resume_from
+        if engine is not None:
+            self.executed_steps += engine.drain_recording_steps()
         size = len(plan)
         self.tries_by_size[size] = self.tries_by_size.get(size, 0) + 1
         reproduced = (result.status == ExecutionStatus.FAILED
@@ -100,7 +140,9 @@ class ScheduleSearchBase:
                     algorithm=self.algorithm, reproduced=False,
                     tries=self.tries, total_steps=self.total_steps,
                     wall_seconds=time.perf_counter() - start, cutoff=True,
-                    tries_by_size=dict(self.tries_by_size))
+                    tries_by_size=dict(self.tries_by_size),
+                    executed_steps=self.executed_steps,
+                    skipped_steps=self.skipped_steps)
                 break
             reproduced, result = self.testrun(plan)
             if reproduced:
@@ -109,14 +151,18 @@ class ScheduleSearchBase:
                     tries=self.tries, total_steps=self.total_steps,
                     wall_seconds=time.perf_counter() - start, plan=plan,
                     failure=result.failure,
-                    tries_by_size=dict(self.tries_by_size))
+                    tries_by_size=dict(self.tries_by_size),
+                    executed_steps=self.executed_steps,
+                    skipped_steps=self.skipped_steps)
                 break
         if outcome is None:
             outcome = SearchOutcome(
                 algorithm=self.algorithm, reproduced=False, tries=self.tries,
                 total_steps=self.total_steps,
                 wall_seconds=time.perf_counter() - start,
-                tries_by_size=dict(self.tries_by_size))
+                tries_by_size=dict(self.tries_by_size),
+                executed_steps=self.executed_steps,
+                skipped_steps=self.skipped_steps)
         return outcome
 
     # -- helpers -----------------------------------------------------------------

@@ -17,44 +17,10 @@ the dependence-distance heuristic (``chessX+temporal`` /
 ``chessX+dep`` in Table 4).
 """
 
-from bisect import bisect_left
-from itertools import combinations
+import heapq
 
 from .base import ScheduleSearchBase
-from .preemption import BOTTOM_WEIGHT
-
-
-class FutureCSVIndex:
-    """``future(thread, step)``: CSVs a thread accesses at/after a step.
-
-    Precomputed from the passing-run trace as per-thread suffix unions
-    over CSV access events, so each query is a bisect.
-    """
-
-    def __init__(self, ranked_accesses):
-        self._per_thread = {}
-        by_thread = {}
-        for access in ranked_accesses:
-            by_thread.setdefault(access.thread, []).append(access)
-        for thread, accesses in by_thread.items():
-            accesses.sort(key=lambda a: a.step)
-            steps = [a.step for a in accesses]
-            suffixes = [None] * len(accesses)
-            seen = set()
-            for i in range(len(accesses) - 1, -1, -1):
-                seen = seen | {accesses[i].location}
-                suffixes[i] = frozenset(seen)
-            self._per_thread[thread] = (steps, suffixes)
-
-    def future(self, thread, step):
-        entry = self._per_thread.get(thread)
-        if entry is None:
-            return frozenset()
-        steps, suffixes = entry
-        i = bisect_left(steps, step)
-        if i >= len(steps):
-            return frozenset()
-        return suffixes[i]
+from .preemption import BOTTOM_WEIGHT, FutureCSVIndex
 
 
 class ChessXSearch(ScheduleSearchBase):
@@ -63,10 +29,11 @@ class ChessXSearch(ScheduleSearchBase):
     def __init__(self, execution_factory, candidates, target_signature,
                  thread_names, ranked_accesses, heuristic_name="dep",
                  all_accesses=None, preemption_bound=2, max_tries=5000,
-                 max_seconds=300.0):
+                 max_seconds=300.0, replay_engine=None):
         super().__init__(execution_factory, candidates, target_signature,
                          thread_names, preemption_bound=preemption_bound,
-                         max_tries=max_tries, max_seconds=max_seconds)
+                         max_tries=max_tries, max_seconds=max_seconds,
+                         replay_engine=replay_engine)
         self.algorithm = "chessX+%s" % heuristic_name
         # Thread selection needs the whole trace's accesses (including
         # those after the aligned point); only priorities are limited to
@@ -77,14 +44,58 @@ class ChessXSearch(ScheduleSearchBase):
     # -- Algorithm 2 lines 1-7: the weighted worklist -------------------------
 
     def weighted_worklist(self):
-        """All ≤k-subsets with weights, ascending (Algorithm 2 line 7)."""
-        worklist = []
-        for size in range(1, self.preemption_bound + 1):
-            for combo in combinations(self.candidates, size):
-                weight = sum(c.weight_component() for c in combo)
-                worklist.append((weight, tuple(c.cid for c in combo), combo))
-        worklist.sort(key=lambda item: (item[0], item[1]))
-        return worklist
+        """≤k-subsets with weights, ascending (Algorithm 2 line 7) — lazily.
+
+        Yields ``(weight, cids, combo)`` in exactly the order the old
+        materialize-and-sort implementation produced (ascending
+        ``(weight, cids)``; keys are unique because cid tuples are), but
+        as a heap-merged generator over the combination lattice: the
+        O(C(n, k)) worklist is never built or fully sorted up front, so
+        a search that reproduces after a handful of tries touches only a
+        handful of combinations.
+
+        Candidates are ordered by ``(weight_component, cid)``; a
+        combination's successors bump one member to the next-heavier
+        candidate, which never lowers the key, so a best-first pop order
+        is globally sorted.  Each popped combination's key strictly
+        exceeds its predecessors' keys, hence every combination is
+        pushed (by its first-popped predecessor) before it can be the
+        minimum, and is popped exactly once.
+        """
+        ordered = sorted(self.candidates,
+                         key=lambda c: (c.weight_component(), c.cid))
+        weights = [c.weight_component() for c in ordered]
+        n = len(ordered)
+
+        def entry(indices):
+            combo = tuple(sorted((ordered[i] for i in indices),
+                                 key=lambda c: c.cid))
+            weight = sum(weights[i] for i in indices)
+            return (weight, tuple(c.cid for c in combo), indices, combo)
+
+        heap = []
+        frontier = set()
+        for size in range(1, min(self.preemption_bound, n) + 1):
+            seed = tuple(range(size))
+            heapq.heappush(heap, entry(seed))
+            frontier.add(seed)
+        while heap:
+            weight, cids, indices, combo = heapq.heappop(heap)
+            # once popped, every predecessor has been popped, so nothing
+            # can re-push this combination: safe to forget it
+            frontier.discard(indices)
+            yield weight, cids, combo
+            for j in range(len(indices)):
+                bumped = indices[j] + 1
+                if bumped >= n:
+                    continue
+                if j + 1 < len(indices) and bumped == indices[j + 1]:
+                    continue
+                successor = indices[:j] + (bumped,) + indices[j + 1:]
+                if successor in frontier:
+                    continue
+                frontier.add(successor)
+                heapq.heappush(heap, entry(successor))
 
     # -- Algorithm 2 preempt(): guided thread selection -------------------------
 

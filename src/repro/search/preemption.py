@@ -17,6 +17,7 @@ Each candidate is annotated with (paper Sec. 5):
   ``T``'s future CSV set overlaps the preempted block's accesses).
 """
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -25,6 +26,43 @@ from ..lang.lower import Opcode
 #: Weight contribution of a candidate whose block has no prioritized CSV
 #: access (the paper's ⊥): effectively last in the worklist.
 BOTTOM_WEIGHT = 10 ** 6
+
+
+class FutureCSVIndex:
+    """``future(thread, step)``: CSVs a thread accesses at/after a step.
+
+    Precomputed from the passing-run trace as per-thread suffix unions
+    over CSV access events, so each query is a bisect.  Consecutive
+    suffixes that add no new location share one frozenset, bounding the
+    distinct sets by the number of distinct locations.
+    """
+
+    def __init__(self, accesses):
+        self._per_thread = {}
+        by_thread = {}
+        for access in accesses:
+            by_thread.setdefault(access.thread, []).append(access)
+        for thread, thread_accesses in by_thread.items():
+            thread_accesses.sort(key=lambda a: a.step)
+            steps = [a.step for a in thread_accesses]
+            suffixes = [None] * len(thread_accesses)
+            seen = frozenset()
+            for i in range(len(thread_accesses) - 1, -1, -1):
+                location = thread_accesses[i].location
+                if location not in seen:
+                    seen = seen | {location}
+                suffixes[i] = seen
+            self._per_thread[thread] = (steps, suffixes)
+
+    def future(self, thread, step):
+        entry = self._per_thread.get(thread)
+        if entry is None:
+            return frozenset()
+        steps, suffixes = entry
+        i = bisect_left(steps, step)
+        if i >= len(steps):
+            return frozenset()
+        return suffixes[i]
 
 
 @dataclass(frozen=True)
@@ -72,12 +110,29 @@ def enumerate_candidates(events, csv_locs, ranked_accesses,
     the future-CSV sets: a thread's CSV set must include accesses that
     happen *after* the aligned point (T2's ``x=0`` in the paper's
     example occurs after it, yet is what makes switching to T2 useful).
+
+    Accesses are pre-sorted per thread once; each candidate's block is a
+    ``bisect`` slice of its thread's list and each future-CSV set a
+    precomputed per-thread suffix union, so enumeration is linearithmic
+    in the trace instead of quadratic.
     """
-    access_by_step = {}
-    for access in ranked_accesses:
-        access_by_step.setdefault(access.step, []).append(access)
     if all_accesses is None:
         all_accesses = ranked_accesses
+
+    # Per-thread ranked accesses, stably sorted by step: slicing a block
+    # preserves both the ascending-step order and, within one step, the
+    # original ranked order (what the old per-candidate scan produced).
+    ranked_by_thread = {}
+    for access in ranked_accesses:
+        ranked_by_thread.setdefault(access.thread, []).append(access)
+    ranked_steps = {}
+    for thread, accesses in ranked_by_thread.items():
+        accesses.sort(key=lambda a: a.step)
+        ranked_steps[thread] = [a.step for a in accesses]
+
+    # Per-thread suffix unions over the full trace: future(thread, step)
+    # is one bisect + one precomputed frozenset.
+    future_index = FutureCSVIndex(all_accesses)
 
     raw = []
     counters = {}
@@ -100,20 +155,12 @@ def enumerate_candidates(events, csv_locs, ranked_accesses,
     for i, (kind, lock, occurrence, event) in enumerate(raw):
         block_start = event.step if kind != "release" else event.step + 1
         block_end = boundaries[i + 1] if i + 1 < len(boundaries) else None
-        block_accesses = []
-        for access_list in access_by_step.values():
-            for access in access_list:
-                if access.thread != event.thread:
-                    continue
-                if access.step < block_start:
-                    continue
-                if block_end is not None and access.step >= block_end:
-                    continue
-                block_accesses.append(access)
-        block_accesses.sort(key=lambda a: a.step)
-        future = frozenset(
-            access.location for access in all_accesses
-            if access.thread == event.thread and access.step >= event.step)
+        thread_accesses = ranked_by_thread.get(event.thread, [])
+        steps = ranked_steps.get(event.thread, [])
+        lo = bisect_left(steps, block_start)
+        hi = len(steps) if block_end is None else bisect_left(steps, block_end)
+        block_accesses = thread_accesses[lo:hi]
+        future = future_index.future(event.thread, event.step)
         candidates.append(PreemptionCandidate(
             cid=i,
             thread=event.thread,
@@ -154,6 +201,10 @@ class PlannedPreemption:
     occurrence: int
     switch_to: Optional[str]  # None = identified point but no switch
 
+    def key(self):
+        """The stable cross-execution identity (matches the candidate's)."""
+        return (self.thread, self.kind, self.lock, self.occurrence)
+
     @classmethod
     def from_candidate(cls, candidate, switch_to):
         return cls(thread=candidate.thread, kind=candidate.kind,
@@ -177,6 +228,44 @@ class PreemptingScheduler:
         self.current = None
         self.started = set()
         self.counters = {}
+        self.forced_next = None
+        self.fired = []
+
+    # -- restorability -------------------------------------------------------
+
+    def snapshot(self):
+        """Full mid-run state, restorable with :meth:`restore`."""
+        return {
+            "pending": list(self.pending),
+            "current": self.current,
+            "started": set(self.started),
+            "counters": dict(self.counters),
+            "forced_next": self.forced_next,
+            "fired": list(self.fired),
+        }
+
+    def restore(self, state):
+        """Reset to a state captured by :meth:`snapshot`."""
+        self.pending = list(state["pending"])
+        self.current = state["current"]
+        self.started = set(state["started"])
+        self.counters = dict(state["counters"])
+        self.forced_next = state["forced_next"]
+        self.fired = list(state["fired"])
+
+    def restore_prefix(self, prefix):
+        """Adopt a deterministic-prefix state (replay-engine resume).
+
+        Until its first preemption fires, this scheduler picks exactly
+        like the deterministic scheduler, so its state after any planned
+        preemption-free prefix is fully determined by that prefix:
+        ``current``/``started``/``counters`` come from the recorded
+        passing-run prefix, while the plan stays untouched (nothing has
+        fired yet).
+        """
+        self.current = prefix.current
+        self.started = set(prefix.started)
+        self.counters = dict(prefix.counters)
         self.forced_next = None
         self.fired = []
 

@@ -46,6 +46,10 @@ class SearchContext:
     events: list                       # passing-run trace
     csv_locs: frozenset                # CSV locations from the dump diff
     all_accesses: list                 # CSV accesses over the whole trace
+    #: shared prefix-replay engine (None = every testrun from scratch);
+    #: the session passes one engine to every strategy it builds, so
+    #: checkpoints recorded by one search are reused by the next
+    replay_engine: object = None
     #: heuristic name -> prioritized accesses (aligned-point prefix)
     ranked: dict = field(default_factory=dict)
     #: optional resolver ``(heuristic) -> ranked accesses`` invoked when
@@ -83,7 +87,8 @@ def build_chess(ctx):
                        ctx.target_signature, ctx.thread_names,
                        preemption_bound=config.preemption_bound,
                        max_tries=config.chess_max_tries,
-                       max_seconds=config.chess_max_seconds)
+                       max_seconds=config.chess_max_seconds,
+                       replay_engine=ctx.replay_engine)
 
 
 def build_chessx(ctx, heuristic):
@@ -96,7 +101,8 @@ def build_chessx(ctx, heuristic):
                         all_accesses=ctx.all_accesses,
                         preemption_bound=config.preemption_bound,
                         max_tries=config.chessx_max_tries,
-                        max_seconds=config.chessx_max_seconds)
+                        max_seconds=config.chessx_max_seconds,
+                        replay_engine=ctx.replay_engine)
 
 
 @SEARCH_STRATEGIES.register("chessX")

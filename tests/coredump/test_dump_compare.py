@@ -209,3 +209,36 @@ class TestSerialize:
         original = dump.threads["t0"].frames[-1].loop_counters
         assert clone.threads["t0"].frames[-1].loop_counters == original
         assert all(isinstance(k, int) for k in original)
+
+
+class TestBigIntSerialization:
+    """Integers beyond CPython's int->str digit limit must round-trip."""
+
+    def test_huge_int_roundtrips(self):
+        huge = 7 ** 20_000  # ~16900 decimal digits, over the 4300 limit
+        ex, _ = run_to_failure(
+            [B.assign("g", 1), B.assert_(0, "boom")], globals_={"g": 0})
+        dump = take_core_dump(ex, "failure", failing_thread="t0")
+        dump.globals["g"] = huge
+        clone = dump_from_json(dump_to_json(dump))
+        assert clone.globals["g"] == huge
+        assert dump_from_json(dump_to_json(clone)).globals["g"] == huge
+
+    def test_negative_huge_int_roundtrips(self):
+        huge = -(7 ** 20_000)
+        ex, _ = run_to_failure(
+            [B.assign("g", 1), B.assert_(0, "boom")], globals_={"g": 0})
+        dump = take_core_dump(ex, "failure", failing_thread="t0")
+        dump.globals["g"] = huge
+        clone = dump_from_json(dump_to_json(dump))
+        assert clone.globals["g"] == huge
+
+    def test_huge_int_self_comparison_is_empty(self):
+        huge = 3 ** 30_000
+        ex, _ = run_to_failure(
+            [B.assign("g", 1), B.assert_(0, "boom")], globals_={"g": 0})
+        dump = take_core_dump(ex, "failure", failing_thread="t0")
+        dump.globals["g"] = huge
+        clone = dump_from_json(dump_to_json(dump))
+        comparison = compare_dumps(dump, clone)
+        assert comparison.differences == []

@@ -1,0 +1,102 @@
+"""The replay engine's correctness bar (property, over the registry).
+
+For *every* registered bug and every strategy — plain chess and both
+chessX heuristics — a prefix-replayed search must produce the identical
+:class:`SearchOutcome` to a from-scratch search: same plan, same tries,
+same failure signature, same logical step totals.  Only the physical
+``executed_steps`` / ``skipped_steps`` split may differ.
+"""
+
+import pytest
+
+from repro.bugs import all_scenarios, get_scenario
+from repro.pipeline import ProgramBundle, ReproSession, ReproductionConfig
+
+ALL_NAMES = [s.name for s in all_scenarios()]
+STRATEGIES = ("chess", "chessX+dep", "chessX+temporal")
+
+#: generous time budget so both modes cut off on tries, never on wall
+#: time — a wall-time cutoff would make try counts machine-dependent and
+#: the equivalence ill-defined
+_CONFIG_KW = dict(chess_max_seconds=10_000.0, chessx_max_seconds=10_000.0)
+
+_CACHE = {}
+
+
+def sessions_for(name):
+    """(scratch_session, replay_session) sharing one failure dump."""
+    if name not in _CACHE:
+        scenario = get_scenario(name)
+        bundle = ProgramBundle(scenario.build())
+        base = ReproSession(bundle,
+                            input_overrides=scenario.input_overrides,
+                            stress_seeds=range(8000),
+                            expected_kind=scenario.expected_fault)
+        dump = base.acquire_failure()
+        scratch = ReproSession(
+            bundle, config=ReproductionConfig(replay=False, **_CONFIG_KW),
+            failure_dump=dump, input_overrides=scenario.input_overrides)
+        replay = ReproSession(
+            bundle, config=ReproductionConfig(replay=True, **_CONFIG_KW),
+            failure_dump=dump, input_overrides=scenario.input_overrides)
+        _CACHE[name] = (scratch, replay)
+    return _CACHE[name]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_replay_outcome_identical(name, strategy):
+    scratch, replay = sessions_for(name)
+    a = scratch.search(strategy)
+    b = replay.search(strategy)
+    assert a.plan == b.plan
+    assert a.tries == b.tries
+    assert a.reproduced == b.reproduced
+    assert a.cutoff == b.cutoff
+    assert a.total_steps == b.total_steps
+    assert a.tries_by_size == b.tries_by_size
+    if a.failure is None:
+        assert b.failure is None
+    else:
+        assert a.failure.signature() == b.failure.signature()
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_step_accounting_consistent(name):
+    """Executed/skipped bookkeeping adds up on both sides."""
+    scratch, replay = sessions_for(name)
+    engine = replay.replay_engine()
+    for strategy in STRATEGIES:
+        a = scratch.search(strategy)
+        b = replay.search(strategy)
+        # from-scratch: everything executed, nothing skipped
+        assert a.executed_steps == a.total_steps
+        assert a.skipped_steps == 0
+        # replay: skipped prefixes were not executed; recording steps
+        # are charged to executed, never hidden
+        assert b.skipped_steps >= 0
+        assert b.executed_steps + b.skipped_steps >= b.total_steps
+    # across the whole strategy suite the engine's ledger balances:
+    # live suffix steps = total - skipped, recording is extra work
+    total = sum(replay._searches[s].total_steps for s in STRATEGIES)
+    executed = sum(replay._searches[s].executed_steps for s in STRATEGIES)
+    skipped = sum(replay._searches[s].skipped_steps for s in STRATEGIES)
+    assert executed == total - skipped + engine.recording_steps
+
+
+def test_replay_executes_fewer_steps_on_fig1():
+    """The headline: same outcomes, strictly less interpretation."""
+    scratch, replay = sessions_for("fig1")
+    for strategy in STRATEGIES:
+        scratch.search(strategy)
+        replay.search(strategy)
+    total_scratch = sum(scratch._searches[s].executed_steps
+                        for s in STRATEGIES)
+    total_replay = sum(replay._searches[s].executed_steps
+                       for s in STRATEGIES)
+    assert total_replay < total_scratch
+    # the guided searches ride the warm shared engine: only the
+    # divergent suffix executes (acceptance bar: >= 40% fewer steps)
+    dep_scratch = scratch._searches["chessX+dep"].executed_steps
+    dep_replay = replay._searches["chessX+dep"].executed_steps
+    assert dep_replay <= 0.6 * dep_scratch
