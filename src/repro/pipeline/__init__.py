@@ -3,7 +3,12 @@
 from .batch import BatchResult, run_many
 from .bundle import ProgramBundle
 from .config import ReproductionConfig
-from .report import PhaseTimings, ReproductionReport, SCHEMA_VERSION
+from .report import (
+    PhaseTimings,
+    READABLE_SCHEMAS,
+    ReproductionReport,
+    SCHEMA_VERSION,
+)
 from .reproducer import reproduce
 from .session import (
     AnalysisResult,
@@ -19,6 +24,7 @@ __all__ = [
     "CsvPlan",
     "PhaseTimings",
     "ProgramBundle",
+    "READABLE_SCHEMAS",
     "ReproSession",
     "ReproductionConfig",
     "ReproductionReport",

@@ -13,6 +13,12 @@ Reports cross the process boundary as their versioned JSON documents
 the worker protocol storable and language-agnostic; a failed scenario is
 captured as an error string instead of poisoning the batch.
 
+Scenario tasks run on the same shared process pool as plan-level
+parallel search (:func:`repro.search.parallel.shared_pool`), so both
+layers draw from one worker budget.  Inside a pool worker, a session
+configured with ``search_workers > 1`` automatically degrades its search
+to serial — nested pools never oversubscribe the machine.
+
     >>> from repro.pipeline import run_many
     >>> batch = run_many(["fig1", "apache-1", "mysql-1"], workers=4)
     >>> batch.reports["fig1"].searches["chessX+dep"].reproduced
@@ -20,9 +26,10 @@ captured as an error string instead of poisoning the batch.
 """
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 
+from ..search.parallel import in_worker, shared_pool
 from .bundle import ProgramBundle
 from .config import ReproductionConfig
 from .report import ReproductionReport
@@ -108,13 +115,32 @@ def run_many(scenarios, config=None, workers=None, stress_seed_stop=8000):
     start = time.perf_counter()
     result = BatchResult(workers=max(1, workers or 1))
 
-    if result.workers == 1 or len(names) <= 1:
+    if result.workers == 1 or len(names) <= 1 or in_worker():
         rows = [_run_one(name, config, stress_seed_stop) for name in names]
     else:
-        with ProcessPoolExecutor(max_workers=result.workers) as pool:
-            rows = list(pool.map(_run_one, names,
-                                 [config] * len(names),
-                                 [stress_seed_stop] * len(names)))
+        # the shared pool may be larger than this batch's worker budget
+        # (another caller grew it); keep at most ``workers`` scenarios
+        # in flight so the requested concurrency is actually honored
+        pool = shared_pool(result.workers)
+        queue = iter(names)
+        in_flight = set()
+        by_name = {}
+
+        def submit_next():
+            name = next(queue, None)
+            if name is not None:
+                in_flight.add(
+                    pool.submit(_run_one, name, config, stress_seed_stop))
+
+        for _ in range(result.workers):
+            submit_next()
+        while in_flight:
+            done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                row = future.result()
+                by_name[row[0]] = row
+                submit_next()
+        rows = [by_name[name] for name in names]
 
     for name, report_json, error in rows:
         if error is not None:

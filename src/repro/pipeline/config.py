@@ -32,6 +32,17 @@ class ReproductionConfig:
     #: checkpoint-cache bounds of the replay engine
     replay_max_checkpoints: int = 64
     replay_max_bytes: int = 64 * 1024 * 1024
+    #: processes driving one search's testruns; 1 keeps today's serial
+    #: in-process path, >1 shards the worklist over the shared pool with
+    #: provably serial-identical outcomes
+    search_workers: int = 1
+    #: plans per shard; None picks an adaptive size (geometric ramp from
+    #: 1, so early reproductions stay cheap and deep sweeps amortize)
+    search_shard_size: int | None = None
+    #: serve plans that an earlier strategy of the same session already
+    #: ran from the cross-strategy testrun memo (identical outcomes,
+    #: ``memo_hits`` counted in the SearchOutcome)
+    testrun_memo: bool = True
 
     def __post_init__(self):
         self.heuristics = tuple(self.heuristics)
@@ -47,6 +58,10 @@ class ReproductionConfig:
             raise ValueError("replay_max_checkpoints must be >= 1")
         if self.replay_max_bytes < 1:
             raise ValueError("replay_max_bytes must be >= 1")
+        if self.search_workers < 1:
+            raise ValueError("search_workers must be >= 1")
+        if self.search_shard_size is not None and self.search_shard_size < 1:
+            raise ValueError("search_shard_size must be >= 1 or None")
         return self
 
     def strategy_names(self):

@@ -28,20 +28,37 @@ from ..search.base import SearchOutcome
 from ..search.preemption import PlannedPreemption
 from .config import ReproductionConfig
 
-#: Version tag of the JSON report schema.  Bump on breaking changes;
+#: Version tag of the JSON report schema.  Bump the minor on additive
+#: changes (older documents still parse), the major on breaking ones;
 #: :func:`ReproductionReport.from_json` rejects documents it cannot read.
-SCHEMA_VERSION = "repro.report/1"
+SCHEMA_VERSION = "repro.report/1.1"
+
+#: Every schema this build can read.  ``repro.report/1`` documents
+#: predate the per-stage timing and ``memo_hits`` fields, which decode
+#: to their defaults.
+READABLE_SCHEMAS = frozenset({"repro.report/1", SCHEMA_VERSION})
 
 
 @dataclass
 class PhaseTimings:
-    """One-time analysis costs (Table 6) plus phase wall clocks."""
+    """One-time analysis costs (Table 6) plus phase wall clocks.
+
+    The ``*_s`` stage fields (schema 1.1) are the session's cumulative
+    wall clock per pipeline stage — stress, dump analysis, diff +
+    prioritization, and schedule search — with the search additionally
+    broken down per strategy.
+    """
 
     reverse_index_s: float = 0.0
     align_run_s: float = 0.0
     dump_parse_s: float = 0.0
     dump_diff_s: float = 0.0
     slicing_s: float = 0.0
+    stress_s: float = 0.0
+    analyze_s: float = 0.0
+    diff_s: float = 0.0
+    search_s: float = 0.0
+    search_by_strategy: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -128,10 +145,10 @@ class ReproductionReport:
         """Parse a document produced by :meth:`to_json`."""
         doc = json.loads(text)
         schema = doc.get("schema")
-        if schema != SCHEMA_VERSION:
+        if schema not in READABLE_SCHEMAS:
             raise DumpError(
-                "unsupported report schema %r (this build reads %r)"
-                % (schema, SCHEMA_VERSION))
+                "unsupported report schema %r (this build reads %s)"
+                % (schema, ", ".join(sorted(READABLE_SCHEMAS))))
         config_doc = dict(doc["config"])
         config_doc["heuristics"] = tuple(config_doc["heuristics"])
         return cls(
@@ -230,6 +247,7 @@ def _encode_outcome(outcome):
         "total_steps": outcome.total_steps,
         "executed_steps": outcome.executed_steps,
         "skipped_steps": outcome.skipped_steps,
+        "memo_hits": outcome.memo_hits,
         "wall_seconds": outcome.wall_seconds,
         "plan": None if outcome.plan is None
         else [asdict(p) for p in outcome.plan],
@@ -250,6 +268,7 @@ def _decode_outcome(doc):
         # before the replay engine existed
         executed_steps=doc.get("executed_steps", doc["total_steps"]),
         skipped_steps=doc.get("skipped_steps", 0),
+        memo_hits=doc.get("memo_hits", 0),
         wall_seconds=doc["wall_seconds"],
         plan=None if doc["plan"] is None
         else [PlannedPreemption(**p) for p in doc["plan"]],

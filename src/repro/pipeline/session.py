@@ -30,9 +30,11 @@ first produces one by stress testing (not part of the technique, just
 how a dump is acquired — paper Sec. 6).
 """
 
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Optional
+from uuid import uuid4
 
 from ..coredump.compare import compare_dumps
 from ..coredump.dump import take_core_dump
@@ -43,6 +45,8 @@ from ..indexing.reverse import reverse_engineer_index
 from ..lang.errors import SearchError
 from ..registry import ALIGNERS, HEURISTICS
 from ..runtime.scheduler import DeterministicScheduler
+from ..search.base import TestrunMemo
+from ..search.parallel import WorkerSessionSpec, run_search
 from ..search.preemption import enumerate_candidates
 from ..search.replay import ReplayEngine
 from ..search.strategies import SearchContext, resolve_strategy
@@ -162,9 +166,17 @@ class ReproSession:
         self._searches: dict = {}
         self._candidate_counts: dict = {}
         self._replay_engine: Optional[ReplayEngine] = None
+        #: cross-strategy testrun memo (None when disabled by config)
+        self.memo: Optional[TestrunMemo] = \
+            TestrunMemo() if self.config.testrun_memo else None
+        self._worker_spec = None
+        self._worker_spec_built = False
         #: stage name -> number of times the stage actually executed
         #: (memoized hits do not count); lets callers verify reuse
         self.stage_runs = {"stress": 0, "analyze": 0, "diff": 0, "search": 0}
+        #: stage name -> cumulative wall seconds actually spent in it
+        self.stage_wall_s = {"stress": 0.0, "analyze": 0.0, "diff": 0.0,
+                             "search": 0.0}
 
     # -- stage 0: the failure dump ------------------------------------------------
 
@@ -185,6 +197,7 @@ class ReproSession:
                                       input_overrides=self.input_overrides,
                                       seeds=self.stress_seeds,
                                       expected_kind=self.expected_kind)
+            self.stage_wall_s["stress"] += self.stress.wall_seconds
             self._failure_dump = self.stress.dump
         return self._failure_dump
 
@@ -195,6 +208,7 @@ class ReproSession:
         if self._analysis is None:
             self.stage_runs["analyze"] += 1
             failure_dump = self.acquire_failure()
+            stage_start = time.perf_counter()
             config = self.config
             index = None
             reverse_index_s = 0.0
@@ -218,6 +232,7 @@ class ReproSession:
                 reverse_index_s=reverse_index_s,
                 align_run_s=align_wall,
             )
+            self.stage_wall_s["analyze"] += time.perf_counter() - stage_start
         return self._analysis
 
     # -- stage 2: dump diff + CSV prioritization -----------------------------------
@@ -228,6 +243,7 @@ class ReproSession:
             self.stage_runs["diff"] += 1
             analysis = self.analyze_dump()
             failure_dump = self.acquire_failure()
+            stage_start = time.perf_counter()
 
             fail_json = dump_to_json(failure_dump)
             aligned_json = dump_to_json(analysis.aligned_dump)
@@ -269,6 +285,7 @@ class ReproSession:
             )
             for heuristic in self.config.heuristics:
                 self._ranked_for(heuristic)
+            self.stage_wall_s["diff"] += time.perf_counter() - stage_start
         return self._plan
 
     def _ranked_for(self, heuristic):
@@ -317,6 +334,7 @@ class ReproSession:
             plan = self.diff_and_prioritize()
             if heuristic is not None:
                 self._ranked_for(heuristic)
+            stage_start = time.perf_counter()
             ctx = SearchContext(
                 execution_factory=self._execution_factory,
                 target_signature=self.acquire_failure().failure.signature(),
@@ -328,11 +346,52 @@ class ReproSession:
                 ranked=plan.ranked,
                 rank_missing=self._ranked_for,
                 replay_engine=self.replay_engine(),
+                memo=self.memo,
             )
             search = factory(ctx)
             self._candidate_counts[name] = ctx.last_candidate_count
-            self._searches[name] = search.search()
+            workers = self.config.search_workers
+            self._searches[name] = run_search(
+                search, workers=workers,
+                spec=self.worker_spec() if workers > 1 else None,
+                shard_size=self.config.search_shard_size)
+            self.stage_wall_s["search"] += time.perf_counter() - stage_start
         return self._searches[name]
+
+    def worker_spec(self):
+        """The picklable bundle parallel-search workers rebuild from.
+
+        Built once per session (the candidate step map and target
+        signature are strategy-independent).  ``None`` when the program
+        cannot cross a process boundary — the executor then falls back
+        to serial search instead of failing.
+        """
+        if not self._worker_spec_built:
+            self._worker_spec_built = True
+            config = self.config
+            # the session engine's restore points are the single source
+            # of truth for the worker-side engines (replay off ships an
+            # empty map — workers then run every testrun from scratch)
+            engine = self.replay_engine()
+            step_map = tuple(engine.step_map().items()) \
+                if engine is not None else ()
+            spec = WorkerSessionSpec(
+                token=uuid4().hex,
+                program=self.bundle.program,
+                input_overrides=self.input_overrides,
+                max_steps=config.testrun_max_steps,
+                target_signature=self.acquire_failure().failure.signature(),
+                replay=config.replay,
+                replay_max_checkpoints=config.replay_max_checkpoints,
+                replay_max_bytes=config.replay_max_bytes,
+                step_map=step_map,
+            )
+            try:
+                pickle.dumps(spec)
+            except Exception:
+                spec = None
+            self._worker_spec = spec
+        return self._worker_spec
 
     def search_all(self):
         """Every strategy the config asks for, in reporting order."""
@@ -347,7 +406,7 @@ class ReproSession:
     # -- assembly ---------------------------------------------------------------
 
     def timings(self):
-        """Table 6 phase costs accumulated so far."""
+        """Table 6 phase costs plus per-stage wall clocks so far."""
         timings = PhaseTimings()
         if self._analysis is not None:
             timings.reverse_index_s = self._analysis.reverse_index_s
@@ -357,6 +416,13 @@ class ReproSession:
             timings.dump_diff_s = self._plan.dump_diff_s
         if self._heuristic_ctx is not None:
             timings.slicing_s = self._heuristic_ctx.slicing_s
+        timings.stress_s = self.stage_wall_s["stress"]
+        timings.analyze_s = self.stage_wall_s["analyze"]
+        timings.diff_s = self.stage_wall_s["diff"]
+        timings.search_s = self.stage_wall_s["search"]
+        timings.search_by_strategy = {
+            name: outcome.wall_seconds
+            for name, outcome in self._searches.items()}
         return timings
 
     def report(self):

@@ -1,9 +1,23 @@
 """Schedule search: CHESS baseline, Algorithm 2, strategies, aligners."""
 
-from .base import ScheduleSearchBase, SearchOutcome
+from .base import (
+    MemoEntry,
+    ScheduleSearchBase,
+    SearchOutcome,
+    TestrunMemo,
+    plan_fingerprint,
+)
 from .chess import ChessSearch
 from .chessx import ChessXSearch
 from .instcount import ContextPCAligner, InstructionCountAligner
+from .parallel import (
+    WorkerSessionSpec,
+    default_worker_budget,
+    in_worker,
+    run_search,
+    shared_pool,
+    shutdown_shared_pool,
+)
 from .preemption import (
     BOTTOM_WEIGHT,
     FutureCSVIndex,
@@ -26,8 +40,17 @@ from .strategies import (
 )
 
 __all__ = [
+    "MemoEntry",
     "ScheduleSearchBase",
     "SearchOutcome",
+    "TestrunMemo",
+    "WorkerSessionSpec",
+    "default_worker_budget",
+    "in_worker",
+    "plan_fingerprint",
+    "run_search",
+    "shared_pool",
+    "shutdown_shared_pool",
     "ChessSearch",
     "ChessXSearch",
     "FutureCSVIndex",

@@ -9,6 +9,77 @@ from ..runtime.interpreter import ExecutionStatus
 from .preemption import PlannedPreemption, PreemptingScheduler
 
 
+def plan_fingerprint(plan):
+    """Canonical identity of a preemption plan across strategies.
+
+    Two plans with the same fingerprint drive byte-identical testruns:
+    the preempting scheduler matches planned points by ``(thread, kind,
+    lock, occurrence)`` key — member order is irrelevant because keys
+    within one plan are unique — and the only other degree of freedom is
+    the switch target.  ``None`` values are normalized so the tuple
+    sorts under mixed kinds.
+    """
+    return tuple(sorted(
+        (p.thread, p.kind, p.lock or "", p.occurrence, p.switch_to or "")
+        for p in plan))
+
+
+@dataclass
+class MemoEntry:
+    """One memoized testrun: schedule length and terminal failure.
+
+    ``failure`` is the run's :class:`~repro.runtime.events.Failure` when
+    it ended in ``FAILED`` status, else None — reproduction is decided
+    against the *caller's* target signature, so one entry serves every
+    strategy (and any target) of the session.
+    """
+
+    steps: int
+    failure: object
+
+
+class TestrunMemo:
+    """Cross-strategy testrun cache keyed by plan fingerprint.
+
+    ``search_all()`` runs chess, chessX+dep, and chessX+temporal against
+    one failure dump; the strategies enumerate overlapping (often
+    byte-identical) plan sets in different orders.  Testruns are
+    deterministic, so the first strategy to run a plan can serve every
+    later duplicate.  A served run still counts into ``tries`` /
+    ``total_steps`` exactly as if it had executed — outcomes are
+    unchanged, only the physical work disappears (the served steps are
+    accounted as ``skipped_steps`` and the hit tallied in the outcome's
+    ``memo_hits``).
+    """
+
+    def __init__(self):
+        self._entries = {}
+        self.hits = 0
+        self.stores = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def peek(self, key):
+        """Lookup without touching the hit counter (parallel pre-pass)."""
+        return self._entries.get(key)
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def put(self, key, entry):
+        if key not in self._entries:
+            self._entries[key] = entry
+            self.stores += 1
+
+    def stats(self):
+        return {"entries": len(self._entries), "hits": self.hits,
+                "stores": self.stores}
+
+
 @dataclass
 class SearchOutcome:
     """Result of one schedule search (a Table 4 / Table 5 cell pair).
@@ -37,6 +108,8 @@ class SearchOutcome:
     executed_steps: int = 0
     #: steps restored from checkpoints instead of re-executed
     skipped_steps: int = 0
+    #: testruns served from the cross-strategy memo instead of executed
+    memo_hits: int = 0
 
     def describe(self):
         state = "reproduced" if self.reproduced else (
@@ -44,6 +117,8 @@ class SearchOutcome:
         saved = ""
         if self.skipped_steps:
             saved = ", %d replay-skipped" % self.skipped_steps
+        if self.memo_hits:
+            saved += ", %d memo-served" % self.memo_hits
         return "%s: %s after %d tries (%d steps, %d executed%s, %.2fs)" % (
             self.algorithm, state, self.tries, self.total_steps,
             self.executed_steps, saved, self.wall_seconds)
@@ -73,13 +148,18 @@ class ScheduleSearchBase:
         each testrun resumes from the checkpoint at its plan's earliest
         preemption instead of re-executing the deterministic prefix;
         outcomes are identical, only ``executed_steps`` shrinks.
+    memo:
+        Optional :class:`TestrunMemo` shared across the session's
+        strategies.  A plan already run by an earlier strategy is served
+        from the memo: identical accounting in ``tries``/``total_steps``
+        (the served steps land in ``skipped_steps``), zero execution.
     """
 
     algorithm = "base"
 
     def __init__(self, execution_factory, candidates, target_signature,
                  thread_names, preemption_bound=2, max_tries=5000,
-                 max_seconds=300.0, replay_engine=None):
+                 max_seconds=300.0, replay_engine=None, memo=None):
         self.execution_factory = execution_factory
         self.candidates = list(candidates)
         self.target_signature = target_signature
@@ -88,10 +168,12 @@ class ScheduleSearchBase:
         self.max_tries = max_tries
         self.max_seconds = max_seconds
         self.replay_engine = replay_engine
+        self.memo = memo
         self.tries = 0
         self.total_steps = 0
         self.executed_steps = 0
         self.skipped_steps = 0
+        self.memo_hits = 0
         self.tries_by_size = {}
 
     # -- single testrun ---------------------------------------------------------
@@ -104,7 +186,22 @@ class ScheduleSearchBase:
         prefix counts into ``skipped_steps``, and any steps the engine
         spent recording prefixes for this run are drained into
         ``executed_steps`` so the savings are reported honestly.
+
+        With a memo, a plan an earlier strategy already ran is served
+        from its cached result — same ``tries``/``total_steps``
+        bookkeeping, the served schedule counted as skipped.
         """
+        memo = self.memo
+        if memo is not None:
+            key = plan_fingerprint(plan)
+            entry = memo.get(key)
+            if entry is not None:
+                self._account(plan, entry.steps, skipped=entry.steps)
+                self.memo_hits += 1
+                reproduced = (entry.failure is not None
+                              and entry.failure.signature()
+                              == self.target_signature)
+                return reproduced, entry
         scheduler = PreemptingScheduler(plan)
         engine = self.replay_engine
         if engine is not None:
@@ -112,17 +209,25 @@ class ScheduleSearchBase:
         else:
             execution, resume_from = self.execution_factory(scheduler), 0
         result = execution.run()
-        self.tries += 1
-        self.total_steps += result.steps
-        self.skipped_steps += resume_from
+        self._account(plan, result.steps, skipped=resume_from)
         self.executed_steps += result.steps - resume_from
         if engine is not None:
             self.executed_steps += engine.drain_recording_steps()
-        size = len(plan)
-        self.tries_by_size[size] = self.tries_by_size.get(size, 0) + 1
-        reproduced = (result.status == ExecutionStatus.FAILED
+        failed = result.status == ExecutionStatus.FAILED
+        if memo is not None:
+            memo.put(key, MemoEntry(steps=result.steps,
+                                    failure=result.failure if failed
+                                    else None))
+        reproduced = (failed
                       and result.failure.signature() == self.target_signature)
         return reproduced, result
+
+    def _account(self, plan, steps, skipped):
+        self.tries += 1
+        self.total_steps += steps
+        self.skipped_steps += skipped
+        size = len(plan)
+        self.tries_by_size[size] = self.tries_by_size.get(size, 0) + 1
 
     # -- search loop -------------------------------------------------------------
 
@@ -142,7 +247,8 @@ class ScheduleSearchBase:
                     wall_seconds=time.perf_counter() - start, cutoff=True,
                     tries_by_size=dict(self.tries_by_size),
                     executed_steps=self.executed_steps,
-                    skipped_steps=self.skipped_steps)
+                    skipped_steps=self.skipped_steps,
+                    memo_hits=self.memo_hits)
                 break
             reproduced, result = self.testrun(plan)
             if reproduced:
@@ -153,7 +259,8 @@ class ScheduleSearchBase:
                     failure=result.failure,
                     tries_by_size=dict(self.tries_by_size),
                     executed_steps=self.executed_steps,
-                    skipped_steps=self.skipped_steps)
+                    skipped_steps=self.skipped_steps,
+                    memo_hits=self.memo_hits)
                 break
         if outcome is None:
             outcome = SearchOutcome(
@@ -162,7 +269,8 @@ class ScheduleSearchBase:
                 wall_seconds=time.perf_counter() - start,
                 tries_by_size=dict(self.tries_by_size),
                 executed_steps=self.executed_steps,
-                skipped_steps=self.skipped_steps)
+                skipped_steps=self.skipped_steps,
+                memo_hits=self.memo_hits)
         return outcome
 
     # -- helpers -----------------------------------------------------------------

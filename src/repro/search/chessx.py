@@ -29,11 +29,11 @@ class ChessXSearch(ScheduleSearchBase):
     def __init__(self, execution_factory, candidates, target_signature,
                  thread_names, ranked_accesses, heuristic_name="dep",
                  all_accesses=None, preemption_bound=2, max_tries=5000,
-                 max_seconds=300.0, replay_engine=None):
+                 max_seconds=300.0, replay_engine=None, memo=None):
         super().__init__(execution_factory, candidates, target_signature,
                          thread_names, preemption_bound=preemption_bound,
                          max_tries=max_tries, max_seconds=max_seconds,
-                         replay_engine=replay_engine)
+                         replay_engine=replay_engine, memo=memo)
         self.algorithm = "chessX+%s" % heuristic_name
         # Thread selection needs the whole trace's accesses (including
         # those after the aligned point); only priorities are limited to

@@ -183,6 +183,25 @@ class ReplayEngine:
         self.replayed_runs = 0
         self.scratch_runs = 0
 
+    @classmethod
+    def from_step_map(cls, execution_factory, step_map, max_checkpoints=64,
+                      max_bytes=64 * 1024 * 1024):
+        """An engine rebuilt from a candidate ``key -> step`` mapping.
+
+        The parallel search executor ships this mapping — not the full
+        annotated candidates — to pool workers, which lazily construct
+        their own engine around their own execution factory.
+        """
+        engine = cls(execution_factory, (), max_checkpoints=max_checkpoints,
+                     max_bytes=max_bytes)
+        engine._step_by_key = dict(step_map)
+        engine._restore_step_set = set(engine._step_by_key.values())
+        return engine
+
+    def step_map(self):
+        """The candidate ``key -> step`` mapping (picklable)."""
+        return dict(self._step_by_key)
+
     # -- restore-point selection ------------------------------------------------
 
     def restore_step_for(self, plan):

@@ -50,6 +50,9 @@ class SearchContext:
     #: the session passes one engine to every strategy it builds, so
     #: checkpoints recorded by one search are reused by the next
     replay_engine: object = None
+    #: shared cross-strategy testrun memo (None = no memoization); plans
+    #: several strategies enumerate identically run once per session
+    memo: object = None
     #: heuristic name -> prioritized accesses (aligned-point prefix)
     ranked: dict = field(default_factory=dict)
     #: optional resolver ``(heuristic) -> ranked accesses`` invoked when
@@ -88,7 +91,7 @@ def build_chess(ctx):
                        preemption_bound=config.preemption_bound,
                        max_tries=config.chess_max_tries,
                        max_seconds=config.chess_max_seconds,
-                       replay_engine=ctx.replay_engine)
+                       replay_engine=ctx.replay_engine, memo=ctx.memo)
 
 
 def build_chessx(ctx, heuristic):
@@ -102,7 +105,7 @@ def build_chessx(ctx, heuristic):
                         preemption_bound=config.preemption_bound,
                         max_tries=config.chessx_max_tries,
                         max_seconds=config.chessx_max_seconds,
-                        replay_engine=ctx.replay_engine)
+                        replay_engine=ctx.replay_engine, memo=ctx.memo)
 
 
 @SEARCH_STRATEGIES.register("chessX")

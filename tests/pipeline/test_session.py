@@ -22,6 +22,13 @@ from repro.slicing import rank_temporal
 BATCH_NAMES = ["fig1", "apache-1", "mysql-1"]
 
 
+def _probe_in_worker():
+    """Module-level so the process pool can pickle it by reference."""
+    from repro.search.parallel import in_worker
+
+    return in_worker()
+
+
 @pytest.fixture(scope="module")
 def fig1_session():
     """One fully-stressed fig1 session shared by the module."""
@@ -164,6 +171,37 @@ class TestJsonSchema:
         with pytest.raises(DumpError, match="repro.report/999"):
             ReproductionReport.from_json(json.dumps(doc))
 
+    def test_pre_1_1_documents_still_parse(self, fresh_session):
+        """Schema 1.1 is additive: a repro.report/1 document (no stage
+        timings, no memo_hits) decodes with the new fields defaulted."""
+        import json
+
+        doc = json.loads(fresh_session.report().to_json())
+        doc["schema"] = "repro.report/1"
+        for stage_field in ("stress_s", "analyze_s", "diff_s", "search_s",
+                            "search_by_strategy"):
+            doc["timings"].pop(stage_field)
+        for outcome_doc in doc["searches"].values():
+            outcome_doc.pop("memo_hits")
+        clone = ReproductionReport.from_json(json.dumps(doc))
+        assert clone.timings.search_s == 0.0
+        assert clone.timings.search_by_strategy == {}
+        assert all(o.memo_hits == 0 for o in clone.searches.values())
+        assert clone.table4_row() == fresh_session.report().table4_row()
+
+    def test_stage_timings_exposed_in_json(self, fresh_session):
+        import json
+
+        report = fresh_session.report()
+        doc = json.loads(report.to_json())
+        timings = doc["timings"]
+        assert timings["analyze_s"] > 0.0
+        assert timings["diff_s"] > 0.0
+        assert timings["search_s"] > 0.0
+        assert set(timings["search_by_strategy"]) == set(doc["searches"])
+        clone = ReproductionReport.from_json(report.to_json())
+        assert clone.timings == report.timings
+
 
 class TestBatchDriver:
     @staticmethod
@@ -196,6 +234,24 @@ class TestBatchDriver:
         assert "no-such-bug" in batch.errors
         with pytest.raises(RuntimeError, match="no-such-bug"):
             batch.raise_errors()
+
+    def test_pool_workers_carry_the_in_worker_flag(self):
+        """Sessions inside batch workers see in_worker() and therefore
+        keep their plan-level search serial — one shared budget, no
+        nested pools."""
+        from repro.search.parallel import shared_pool
+
+        pool = shared_pool(2)
+        assert pool.submit(_probe_in_worker).result() is True
+
+    def test_nested_search_parallelism_results_identical(self):
+        """search_workers>1 inside a parallel batch changes nothing."""
+        names = ["fig1", "mysql-2"]
+        nested = run_many(
+            names, config=ReproductionConfig(search_workers=2),
+            workers=2).raise_errors()
+        plain = run_many(names, workers=2).raise_errors()
+        assert self._comparable(nested) == self._comparable(plain)
 
 
 class TestLegacyShim:

@@ -1,4 +1,4 @@
-"""Checkpoint / restore of execution state."""
+"""Checkpoint / restore of execution state, and the bounded cache."""
 
 from repro.analysis import StaticAnalysis
 from repro.lang import builder as B
@@ -9,6 +9,9 @@ from repro.runtime import (
     restore_checkpoint,
     take_checkpoint,
 )
+from repro.runtime.checkpoint import checkpoint_nbytes
+from repro.search.replay import CacheEntry, CheckpointCache, ReplayEngine
+from repro.search.preemption import PreemptingScheduler
 
 
 def make_execution():
@@ -87,3 +90,135 @@ class TestCheckpoint:
         restore_checkpoint(ex, cp)
         assert ex.failure is None
         assert ex.stop_reason is None
+
+
+def entry(step, nbytes):
+    return CacheEntry(step=step, checkpoint=("cp", step), prefix=None,
+                      nbytes=nbytes)
+
+
+class TestCheckpointCacheEviction:
+    """The LRU byte-budget eviction path, exercised under pressure."""
+
+    def test_byte_budget_evicts_oldest_first(self):
+        cache = CheckpointCache(max_entries=64, max_bytes=100)
+        cache.put(entry(1, 40))
+        cache.put(entry(2, 40))
+        cache.put(entry(3, 40))  # 120 bytes > 100: step 1 must go
+        assert cache.steps() == [2, 3]
+        assert cache.total_bytes == 80
+        assert cache.evictions == 1
+
+    def test_lru_refresh_protects_hot_entries(self):
+        cache = CheckpointCache(max_entries=64, max_bytes=100)
+        cache.put(entry(1, 40))
+        cache.put(entry(2, 40))
+        assert cache.get(1) is not None  # refresh 1; 2 is now coldest
+        cache.put(entry(3, 40))
+        assert cache.steps() == [1, 3]
+
+    def test_newest_entry_survives_even_over_budget(self):
+        cache = CheckpointCache(max_entries=64, max_bytes=10)
+        cache.put(entry(1, 5))
+        cache.put(entry(2, 500))  # alone over budget, still kept
+        assert cache.steps() == [2]
+        assert cache.total_bytes == 500
+        assert cache.get(2) is not None
+
+    def test_entry_count_budget_still_enforced(self):
+        cache = CheckpointCache(max_entries=2, max_bytes=1 << 30)
+        for step in range(5):
+            cache.put(entry(step, 1))
+        assert cache.steps() == [3, 4]
+        assert cache.evictions == 3
+
+    def test_same_step_reinsert_replaces_without_leaking_bytes(self):
+        cache = CheckpointCache(max_entries=4, max_bytes=1000)
+        cache.put(entry(7, 100))
+        cache.put(entry(7, 250))
+        assert len(cache) == 1
+        assert cache.total_bytes == 250
+
+    def test_byte_ledger_matches_entries_under_churn(self):
+        cache = CheckpointCache(max_entries=3, max_bytes=120)
+        sizes = [30, 70, 10, 90, 40, 55, 5, 120, 60]
+        for step, nbytes in enumerate(sizes):
+            cache.put(entry(step, nbytes))
+            live = [cache.get(s).nbytes for s in cache.steps()]
+            assert cache.total_bytes == sum(live)
+            assert len(cache) <= 3
+
+    def test_nearest_peek_does_not_shield_from_eviction(self):
+        cache = CheckpointCache(max_entries=2, max_bytes=1 << 30)
+        cache.put(entry(1, 1))
+        cache.put(entry(2, 1))
+        assert cache.nearest_at_or_before(1).step == 1  # peek, no refresh
+        cache.put(entry(3, 1))
+        assert cache.steps() == [2, 3]
+
+
+class TestReplayEngineUnderEviction:
+    """Byte-starved engines must re-record, never corrupt a testrun."""
+
+    def _factory(self):
+        def factory(scheduler):
+            ex = make_execution()
+            ex.scheduler = scheduler
+            return ex
+        return factory
+
+    def _candidates(self, steps):
+        class Cand:
+            def __init__(self, step):
+                self.step = step
+                self._key = ("t0", "sync", None, step)
+
+            def key(self):
+                return self._key
+        return [Cand(s) for s in steps]
+
+    class _Plan:
+        def __init__(self, key):
+            self._key = key
+
+        def key(self):
+            return self._key
+
+    def test_starved_engine_rerecords_evicted_prefixes(self):
+        factory = self._factory()
+        cands = self._candidates([5, 10, 20])
+        engine = ReplayEngine(factory, cands, max_checkpoints=1,
+                              max_bytes=1)
+        plans = [[self._Plan(("t0", "sync", None, s))] for s in (20, 5, 10)]
+        for plan in plans:
+            scheduler = PreemptingScheduler([])
+            execution, resumed = engine.resume(scheduler, plan)
+            assert resumed == engine.restore_step_for(plan)
+            assert execution.step_count == resumed
+            result = execution.run()
+            assert result.completed
+        # the single-slot, byte-starved cache was forced to evict while
+        # opportunistically capturing the passed candidate steps
+        assert engine.cache.evictions > 0
+        assert len(engine.cache) == 1
+
+    def test_starved_engine_outputs_match_scratch(self):
+        factory = self._factory()
+        cands = self._candidates([3, 8, 15])
+        engine = ReplayEngine(factory, cands, max_checkpoints=1, max_bytes=1)
+        for step in (15, 3, 8, 15):
+            plan = [self._Plan(("t0", "sync", None, step))]
+            execution, resumed = engine.resume(PreemptingScheduler([]), plan)
+            replay_result = execution.run()
+            scratch = factory(DeterministicScheduler())
+            scratch_result = scratch.run()
+            assert replay_result.steps == scratch_result.steps
+            assert execution.output == scratch.output
+
+    def test_checkpoint_nbytes_tracks_payload_growth(self):
+        ex = make_execution()
+        small = checkpoint_nbytes(take_checkpoint(ex))
+        for _ in range(30):
+            ex.step("t0")
+        grown = checkpoint_nbytes(take_checkpoint(ex))
+        assert grown >= small > 0

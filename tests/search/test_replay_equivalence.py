@@ -17,8 +17,13 @@ STRATEGIES = ("chess", "chessX+dep", "chessX+temporal")
 
 #: generous time budget so both modes cut off on tries, never on wall
 #: time — a wall-time cutoff would make try counts machine-dependent and
-#: the equivalence ill-defined
-_CONFIG_KW = dict(chess_max_seconds=10_000.0, chessx_max_seconds=10_000.0)
+#: the equivalence ill-defined.  The cross-strategy testrun memo is off:
+#: this suite isolates the replay engine, and its ledger assertions
+#: (scratch executes everything, skips nothing) require every strategy
+#: to actually run its own testruns.  Memo-on equivalence is covered by
+#: tests/search/test_parallel_equivalence.py.
+_CONFIG_KW = dict(chess_max_seconds=10_000.0, chessx_max_seconds=10_000.0,
+                  testrun_memo=False)
 
 _CACHE = {}
 
