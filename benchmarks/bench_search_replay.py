@@ -18,6 +18,13 @@ bars are asserted: the replay acceptance bar (the engine never executes
 more steps than from-scratch; the guided search saves at least 40%),
 and the regression gate (``savings_pct`` and executed-step counts must
 stay within :data:`BASELINE_TOLERANCE` of the committed baseline).
+
+A final section benchmarks the block-batched execution core: the fig1
+stress sweep and the full search suite run at instruction vs block
+granularity — identical outcomes, with scheduler-dispatch counts,
+steps/sec, and wall clocks recorded per mode.  fig1 asserts the >= 3x
+dispatch-reduction bar on both phases, and the baseline gate extends to
+the new (deterministic) dispatch metrics.
 """
 
 import json
@@ -27,6 +34,7 @@ from pathlib import Path
 import pytest
 
 from repro.pipeline import ReproductionConfig
+from repro.runtime.scheduler import MulticoreScheduler
 from repro.search.parallel import default_worker_budget, shared_pool
 
 from .conftest import print_table, session_for
@@ -370,3 +378,181 @@ def test_memo_table(memo_outcomes, replay_comparison):
         })
     print_table("Search: cross-strategy testrun memo (outcomes unchanged)",
                 headers, rows)
+
+
+# ---------------------------------------------------------------------------
+# the block-batched execution core (interpreter throughput)
+# ---------------------------------------------------------------------------
+
+#: sweep repetitions per mode; the minimum wall is reported so one
+#: scheduler hiccup does not pollute the steps/sec numbers
+EXEC_CORE_REPEATS = 3
+
+#: fig1 acceptance bar: block mode must issue at least this factor
+#: fewer scheduler dispatches on both the stress sweep and the search
+EXEC_CORE_DISPATCH_BAR = 3.0
+
+
+def _timed_stress_sweep(scenario, bundle, seed, use_blocks):
+    """Re-run the dump-acquisition sweep (seeds 0..failing) one mode."""
+    picks = commits = steps = 0
+    wall = None
+    for _ in range(EXEC_CORE_REPEATS):
+        picks = commits = steps = 0
+        start = time.perf_counter()
+        for s in range(seed + 1):
+            execution = bundle.execution(
+                MulticoreScheduler(seed=s),
+                input_overrides=scenario.input_overrides,
+                use_blocks=use_blocks)
+            result = execution.run()
+            picks += execution.sched_picks
+            commits += execution.sched_commits
+            steps += result.steps
+        elapsed = time.perf_counter() - start
+        wall = elapsed if wall is None or elapsed < wall else wall
+    return {
+        "steps": steps,
+        "sched_picks": picks,
+        "sched_commits": commits,
+        "wall_s": round(wall, 4),
+        "steps_per_s": int(steps / wall) if wall else 0,
+    }
+
+
+def _timed_search_suite(scenario, bundle, dump, use_blocks):
+    """The full strategy suite one mode, with dispatch counting."""
+    session = session_for(
+        scenario, bundle,
+        config=ReproductionConfig(block_exec=use_blocks, **_CONFIG_KW),
+        failure_dump=dump)
+    executions = []
+    original = session._execution_factory
+
+    def counting_factory(scheduler):
+        execution = original(scheduler)
+        executions.append(execution)
+        return execution
+
+    session._execution_factory = counting_factory
+    session.diff_and_prioritize()  # stages 1-2 are not search work
+    start = time.perf_counter()
+    outcomes = {strategy: session.search(strategy)
+                for strategy in STRATEGIES}
+    wall = time.perf_counter() - start
+    return {
+        "sched_picks": sum(e.sched_picks for e in executions),
+        "sched_commits": sum(e.sched_commits for e in executions),
+        "executed_steps": sum(o.executed_steps for o in outcomes.values()),
+        "total_steps": sum(o.total_steps for o in outcomes.values()),
+        "wall_s": round(wall, 4),
+    }, outcomes
+
+
+def _ratio(instr, block):
+    return round(instr / block, 2) if block else 0.0
+
+
+@pytest.fixture(scope="session")
+def exec_core(suite):
+    """Per bug: stress sweep + search suite at both granularities."""
+    results = {}
+    for scenario, bundle, session in suite:
+        seed = session.stress.seed
+        stress = {
+            "failing_seed": seed,
+            "instr": _timed_stress_sweep(scenario, bundle, seed, False),
+            "block": _timed_stress_sweep(scenario, bundle, seed, True),
+        }
+        stress["dispatch_ratio"] = _ratio(stress["instr"]["sched_picks"],
+                                          stress["block"]["sched_picks"])
+        stress["wall_improvement_pct"] = round(
+            100.0 * (1.0 - stress["block"]["wall_s"]
+                     / stress["instr"]["wall_s"]), 1) \
+            if stress["instr"]["wall_s"] else 0.0
+        instr_search, instr_outcomes = _timed_search_suite(
+            scenario, bundle, session.failure_dump, False)
+        block_search, block_outcomes = _timed_search_suite(
+            scenario, bundle, session.failure_dump, True)
+        # block mode must change dispatch counts only, never outcomes
+        for strategy in STRATEGIES:
+            a, b = instr_outcomes[strategy], block_outcomes[strategy]
+            assert (a.plan, a.tries, a.reproduced, a.total_steps,
+                    a.executed_steps, a.skipped_steps) == \
+                   (b.plan, b.tries, b.reproduced, b.total_steps,
+                    b.executed_steps, b.skipped_steps), \
+                (scenario.name, strategy)
+        search = {
+            "instr": instr_search,
+            "block": block_search,
+            "dispatch_ratio": _ratio(instr_search["sched_picks"],
+                                     block_search["sched_picks"]),
+            "wall_improvement_pct": round(
+                100.0 * (1.0 - block_search["wall_s"]
+                         / instr_search["wall_s"]), 1)
+            if instr_search["wall_s"] else 0.0,
+        }
+        results[scenario.name] = {"stress": stress, "search": search}
+    return results
+
+
+def test_exec_core_table(exec_core):
+    """Record interpreter throughput per mode in BENCH_search.json."""
+    headers = ["bug", "phase", "steps", "instr picks", "block picks",
+               "ratio", "instr steps/s", "block steps/s", "wall saved"]
+    rows = []
+    for name, entry in exec_core.items():
+        stress, search = entry["stress"], entry["search"]
+        rows.append([
+            name, "stress", stress["instr"]["steps"],
+            stress["instr"]["sched_picks"], stress["block"]["sched_picks"],
+            "%.2fx" % stress["dispatch_ratio"],
+            stress["instr"]["steps_per_s"], stress["block"]["steps_per_s"],
+            "%.1f%%" % stress["wall_improvement_pct"]])
+        rows.append([
+            name, "search", search["instr"]["total_steps"],
+            search["instr"]["sched_picks"], search["block"]["sched_picks"],
+            "%.2fx" % search["dispatch_ratio"], "", "",
+            "%.1f%%" % search["wall_improvement_pct"]])
+        _merge_scenario_section(name, "exec_core", entry)
+    print_table("Execution core: instruction-mode vs block-mode "
+                "(identical outcomes)", headers, rows)
+
+
+def test_fig1_exec_core_acceptance(exec_core):
+    """fig1 bar: >= 3x fewer scheduler dispatches on stress + search."""
+    if "fig1" not in exec_core:
+        pytest.skip("fig1 not in REPRO_BENCH_SCENARIOS selection")
+    entry = exec_core["fig1"]
+    assert entry["stress"]["dispatch_ratio"] >= EXEC_CORE_DISPATCH_BAR, entry
+    assert entry["search"]["dispatch_ratio"] >= EXEC_CORE_DISPATCH_BAR, entry
+    # block mode executes exactly the same work
+    assert (entry["search"]["block"]["executed_steps"]
+            == entry["search"]["instr"]["executed_steps"])
+    assert (entry["stress"]["block"]["steps"]
+            == entry["stress"]["instr"]["steps"])
+
+
+def test_fig1_exec_core_baseline_gate(exec_core):
+    """CI gate: the dispatch metrics are deterministic — any drift means
+    the partition or the chain rules changed.  Block-mode pick counts
+    may not grow beyond 5% of the committed baseline and the dispatch
+    ratios may not drop more than 5%; improvements pass."""
+    if "fig1" not in exec_core:
+        pytest.skip("fig1 not in REPRO_BENCH_SCENARIOS selection")
+    if _COMMITTED is None \
+            or "exec_core" not in _COMMITTED.get("scenarios", {}).get(
+                "fig1", {}):
+        pytest.skip("no committed fig1 exec_core baseline to gate against")
+    committed = _COMMITTED["scenarios"]["fig1"]["exec_core"]
+    fresh = exec_core["fig1"]
+    for phase in ("stress", "search"):
+        base, now = committed[phase], fresh[phase]
+        for mode in ("instr", "block"):
+            bound = base[mode]["sched_picks"] * (1.0 + BASELINE_TOLERANCE)
+            assert now[mode]["sched_picks"] <= bound, \
+                (phase, mode, now[mode]["sched_picks"],
+                 base[mode]["sched_picks"])
+        floor = base["dispatch_ratio"] * (1.0 - BASELINE_TOLERANCE)
+        assert now["dispatch_ratio"] >= floor, \
+            (phase, now["dispatch_ratio"], base["dispatch_ratio"])

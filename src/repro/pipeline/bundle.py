@@ -1,36 +1,62 @@
 """A compiled program bundle: lowering + static analysis, cached together.
 
 Every phase of the pipeline (stress, alignment, search) re-executes the
-same program; the bundle keeps the one-time artifacts in one place.
+same program; the bundle keeps the one-time artifacts in one place —
+including the superblock partition that backs block-granularity
+execution (computed lazily, or installed pre-built when a parallel
+worker receives it over the process boundary).
 """
 
 from ..analysis import StaticAnalysis
+from ..lang.blocks import block_table_for
 from ..lang.lower import lower_program
 from ..runtime.interpreter import Execution
 
 
 class ProgramBundle:
-    """Compiled + analyzed form of one subject program."""
+    """Compiled + analyzed form of one subject program.
 
-    def __init__(self, program, max_steps=1_000_000):
+    ``block_exec`` sets the default execution granularity of executions
+    built through :meth:`execution` (overridable per call); the
+    partition itself is shared by both modes and cached on the compiled
+    program.
+    """
+
+    def __init__(self, program, max_steps=1_000_000, block_exec=True,
+                 block_table=None):
         self.program = program
         self.compiled = lower_program(program)
         self.analysis = StaticAnalysis(self.compiled)
         self.max_steps = max_steps
+        self.block_exec = block_exec
+        if block_table is not None:
+            self.compiled._block_table = block_table
 
     @property
     def name(self):
         return self.program.name
 
+    @property
+    def block_table(self):
+        """The program's superblock partition (computed once, cached)."""
+        return block_table_for(self.compiled, self.analysis)
+
     def execution(self, scheduler, input_overrides=None, instrument_loops=True,
-                  hooks=(), max_steps=None):
-        """A fresh execution of the program under ``scheduler``."""
+                  hooks=(), max_steps=None, use_blocks=None):
+        """A fresh execution of the program under ``scheduler``.
+
+        ``use_blocks`` overrides the bundle's ``block_exec`` default;
+        hook-bearing executions fall back to instruction granularity
+        inside the interpreter regardless.
+        """
+        enabled = self.block_exec if use_blocks is None else use_blocks
         return Execution(
             self.compiled, self.analysis, scheduler,
             input_overrides=input_overrides,
             instrument_loops=instrument_loops,
             hooks=hooks,
             max_steps=max_steps or self.max_steps,
+            blocks=self.block_table if enabled else None,
         )
 
     def thread_names(self):

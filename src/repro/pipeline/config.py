@@ -25,6 +25,15 @@ class ReproductionConfig:
     chessx_max_tries: int = 3000
     chessx_max_seconds: float = 120.0
     testrun_max_steps: int = 500_000
+    #: macro-step hook-free executions at superblock granularity (one
+    #: scheduler pick per block chain instead of per instruction);
+    #: outcomes are byte-identical to instruction mode — disable only to
+    #: measure or debug the per-instruction path
+    block_exec: bool = True
+    #: processes sweeping stress seeds for the failure dump; 1 keeps the
+    #: serial sweep, >1 shards contiguous seed ranges over the shared
+    #: pool with a deterministic lowest-failing-seed reduction
+    stress_workers: int = 1
     #: serve testruns from prefix checkpoints instead of re-executing
     #: the deterministic prefix (identical outcomes, fewer executed
     #: steps); disable to measure or debug from-scratch behaviour
@@ -60,6 +69,8 @@ class ReproductionConfig:
             raise ValueError("replay_max_bytes must be >= 1")
         if self.search_workers < 1:
             raise ValueError("search_workers must be >= 1")
+        if self.stress_workers < 1:
+            raise ValueError("stress_workers must be >= 1")
         if self.search_shard_size is not None and self.search_shard_size < 1:
             raise ValueError("search_shard_size must be >= 1 or None")
         return self

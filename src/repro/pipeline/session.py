@@ -47,7 +47,10 @@ from ..registry import ALIGNERS, HEURISTICS
 from ..runtime.scheduler import DeterministicScheduler
 from ..search.base import TestrunMemo
 from ..search.parallel import WorkerSessionSpec, run_search
-from ..search.preemption import enumerate_candidates
+from ..search.preemption import (
+    enumerate_candidates,
+    map_candidates_to_block_heads,
+)
 from ..search.replay import ReplayEngine
 from ..search.strategies import SearchContext, resolve_strategy
 from ..slicing.distance import HeuristicContext, extract_csv_accesses
@@ -196,7 +199,9 @@ class ReproSession:
             self.stress = stress_test(self.bundle,
                                       input_overrides=self.input_overrides,
                                       seeds=self.stress_seeds,
-                                      expected_kind=self.expected_kind)
+                                      expected_kind=self.expected_kind,
+                                      workers=self.config.stress_workers,
+                                      use_blocks=self.config.block_exec)
             self.stage_wall_s["stress"] += self.stress.wall_seconds
             self._failure_dump = self.stress.dump
         return self._failure_dump
@@ -311,6 +316,12 @@ class ReproSession:
         if self._replay_engine is None:
             analysis = self.analyze_dump()
             candidates = enumerate_candidates(analysis.events, frozenset(), [])
+            if self.config.block_exec:
+                # partition/search contract: every restore point must be
+                # a superblock head, so block-granular testruns fire
+                # preemptions exactly where instruction mode would
+                map_candidates_to_block_heads(candidates,
+                                              self.bundle.block_table)
             self._replay_engine = ReplayEngine(
                 self._execution_factory, candidates,
                 max_checkpoints=self.config.replay_max_checkpoints,
@@ -385,6 +396,9 @@ class ReproSession:
                 replay_max_checkpoints=config.replay_max_checkpoints,
                 replay_max_bytes=config.replay_max_bytes,
                 step_map=step_map,
+                block_exec=config.block_exec,
+                block_table=(self.bundle.block_table
+                             if config.block_exec else None),
             )
             try:
                 pickle.dumps(spec)
@@ -401,7 +415,8 @@ class ReproSession:
     def _execution_factory(self, scheduler):
         return self.bundle.execution(scheduler,
                                      input_overrides=self.input_overrides,
-                                     max_steps=self.config.testrun_max_steps)
+                                     max_steps=self.config.testrun_max_steps,
+                                     use_blocks=self.config.block_exec)
 
     # -- assembly ---------------------------------------------------------------
 

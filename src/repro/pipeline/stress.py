@@ -5,10 +5,26 @@ the reported bug manifests, then collects the core dump ("while stress
 testing is very expensive, it is not part of our proposed technique").
 Here a seeded random-interleaving scheduler plays the role of the
 multicore platform; seeds are swept until the expected failure appears.
+
+The sweep is embarrassingly parallel — each seed's run is a
+deterministic function of the seed — so ``workers > 1`` shards
+contiguous seed ranges over the process-wide shared pool
+(:func:`repro.search.parallel.shared_pool`).  The reduction is
+deterministic: the *lowest* failing seed position wins (exactly what the
+serial sweep would have found first), earlier chunks are always resolved
+before a later hit is accepted, and the winning seed is re-executed
+locally so the returned :class:`StressResult` — dump, execution,
+``runs_tried``, failing ``RunResult`` — is byte-identical to the serial
+sweep's.  Inside a pool worker the sweep degrades to serial instead of
+nesting pools.
 """
 
+import pickle
 import time
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass
+from typing import Optional
 
 from ..coredump.dump import take_core_dump
 from ..lang.errors import SearchError
@@ -31,30 +47,123 @@ class StressResult:
         return self.result.failure
 
 
+def _attempt(bundle, seed, input_overrides, expected_kind, expected_pc,
+             switch_prob, instrument_loops, use_blocks):
+    """One stress run; returns ``(execution, result, qualifies)``."""
+    execution = bundle.execution(
+        MulticoreScheduler(seed=seed, switch_prob=switch_prob),
+        input_overrides=input_overrides,
+        instrument_loops=instrument_loops,
+        use_blocks=use_blocks)
+    result = execution.run()
+    qualifies = (result.failed
+                 and (expected_kind is None
+                      or result.failure.kind == expected_kind)
+                 and (expected_pc is None
+                      or result.failure.pc == expected_pc))
+    return execution, result, qualifies
+
+
+# ---------------------------------------------------------------------------
+# what crosses the process boundary
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StressWorkerSpec:
+    """Everything a pool worker needs to re-run stress seeds."""
+
+    program: object
+    input_overrides: Optional[dict]
+    expected_kind: Optional[str]
+    expected_pc: Optional[int]
+    switch_prob: float
+    instrument_loops: bool
+    max_steps: int
+    block_exec: bool
+    #: the driver's block partition, shipped so workers skip recomputing
+    block_table: object = None
+
+
+#: spec blob -> built bundle; tiny LRU so interleaved sweeps (batch
+#: drivers, equivalence suites) do not rebuild per chunk
+_BUNDLES = OrderedDict()
+_BUNDLE_CACHE_SIZE = 4
+
+
+def _bundle_for(spec_blob):
+    from .bundle import ProgramBundle
+
+    entry = _BUNDLES.get(spec_blob)
+    if entry is None:
+        spec = pickle.loads(spec_blob)
+        bundle = ProgramBundle(spec.program, max_steps=spec.max_steps,
+                               block_exec=spec.block_exec,
+                               block_table=spec.block_table)
+        entry = (bundle, spec)
+        _BUNDLES[spec_blob] = entry
+        while len(_BUNDLES) > _BUNDLE_CACHE_SIZE:
+            _BUNDLES.popitem(last=False)
+    else:
+        _BUNDLES.move_to_end(spec_blob)
+    return entry
+
+
+def run_stress_chunk(spec_blob, chunk):
+    """Pool-worker entry: try ``[(position, seed), ...]`` in order.
+
+    Returns the first qualifying ``(position, seed)`` — the chunk is a
+    contiguous ascending slice of the sweep, so its first hit is its
+    best — or None.  Dumps and executions stay worker-side; the driver
+    re-runs the winning seed locally (deterministic, so byte-identical).
+    """
+    bundle, spec = _bundle_for(spec_blob)
+    for position, seed in chunk:
+        _execution, _result, qualifies = _attempt(
+            bundle, seed, spec.input_overrides, spec.expected_kind,
+            spec.expected_pc, spec.switch_prob, spec.instrument_loops,
+            use_blocks=None)
+        if qualifies:
+            return (position, seed)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# the sweep
+# ---------------------------------------------------------------------------
+
 def stress_test(bundle, input_overrides=None, seeds=None, expected_kind=None,
-                expected_pc=None, switch_prob=0.3, instrument_loops=True):
+                expected_pc=None, switch_prob=0.3, instrument_loops=True,
+                workers=1, use_blocks=None):
     """Run under random interleavings until the expected failure appears.
 
     ``expected_kind``/``expected_pc`` restrict which failure counts as
     "the" bug (matching the bug report); any failure qualifies when both
-    are None.
+    are None.  ``workers > 1`` parallelizes the sweep over the shared
+    pool with serial-identical results (lowest failing seed wins).
     """
     if seeds is None:
         seeds = range(0, 2000)
     start = time.perf_counter()
+    if workers > 1:
+        seeds = list(seeds)
+        spec_blob = _picklable_spec(bundle, input_overrides, expected_kind,
+                                    expected_pc, switch_prob,
+                                    instrument_loops, use_blocks)
+        from ..search.parallel import in_worker
+        if spec_blob is not None and not in_worker() and len(seeds) > 1:
+            return _parallel_stress(
+                bundle, seeds, spec_blob, workers, start,
+                input_overrides=input_overrides,
+                expected_kind=expected_kind, expected_pc=expected_pc,
+                switch_prob=switch_prob, instrument_loops=instrument_loops,
+                use_blocks=use_blocks)
     runs = 0
     for seed in seeds:
         runs += 1
-        execution = bundle.execution(
-            MulticoreScheduler(seed=seed, switch_prob=switch_prob),
-            input_overrides=input_overrides,
-            instrument_loops=instrument_loops)
-        result = execution.run()
-        if not result.failed:
-            continue
-        if expected_kind is not None and result.failure.kind != expected_kind:
-            continue
-        if expected_pc is not None and result.failure.pc != expected_pc:
+        execution, result, qualifies = _attempt(
+            bundle, seed, input_overrides, expected_kind, expected_pc,
+            switch_prob, instrument_loops, use_blocks)
+        if not qualifies:
             continue
         dump = take_core_dump(execution, "failure")
         return StressResult(seed=seed, runs_tried=runs,
@@ -63,6 +172,99 @@ def stress_test(bundle, input_overrides=None, seeds=None, expected_kind=None,
     raise SearchError(
         "no failing interleaving found for %s in %d runs"
         % (bundle.name, runs))
+
+
+def _picklable_spec(bundle, input_overrides, expected_kind, expected_pc,
+                    switch_prob, instrument_loops, use_blocks):
+    """The pickled worker spec, or None when it cannot cross processes."""
+    block_exec = bundle.block_exec if use_blocks is None else use_blocks
+    spec = StressWorkerSpec(
+        program=bundle.program,
+        input_overrides=input_overrides,
+        expected_kind=expected_kind,
+        expected_pc=expected_pc,
+        switch_prob=switch_prob,
+        instrument_loops=instrument_loops,
+        max_steps=bundle.max_steps,
+        block_exec=block_exec,
+        block_table=bundle.block_table if block_exec else None,
+    )
+    try:
+        return pickle.dumps(spec)
+    except Exception:
+        return None
+
+
+def _parallel_stress(bundle, seeds, spec_blob, workers, start,
+                     input_overrides, expected_kind, expected_pc,
+                     switch_prob, instrument_loops, use_blocks):
+    """Sharded sweep with a deterministic lowest-position reduction."""
+    from ..search.parallel import shared_pool
+
+    chunk_size = max(1, min(64, len(seeds) // (workers * 8) or 1))
+    chunks = [[(i, seeds[i]) for i in range(lo, min(lo + chunk_size,
+                                                    len(seeds)))]
+              for lo in range(0, len(seeds), chunk_size)]
+    pool = shared_pool(workers)
+    outcomes = {}            # chunk index -> (position, seed) or None
+    futures = {}             # future -> chunk index
+    next_chunk = 0
+    earliest_hit = None      # lowest chunk index with a qualifying seed
+
+    def winner_so_far():
+        """The hit all of whose predecessor chunks resolved empty."""
+        for idx in range(len(chunks)):
+            if idx not in outcomes:
+                return None
+            if outcomes[idx] is not None:
+                return outcomes[idx]
+        return None
+
+    try:
+        while True:
+            # once any hit is known, nothing new is worth submitting:
+            # chunks beyond it can never lower the winner, and all
+            # chunks before it are already in flight
+            while earliest_hit is None and next_chunk < len(chunks) \
+                    and len(futures) < workers * 2:
+                future = pool.submit(run_stress_chunk, spec_blob,
+                                     chunks[next_chunk])
+                futures[future] = next_chunk
+                next_chunk += 1
+            if not futures:
+                break
+            done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+            for future in done:
+                idx = futures.pop(future)
+                outcomes[idx] = future.result()
+                if outcomes[idx] is not None and (earliest_hit is None
+                                                  or idx < earliest_hit):
+                    earliest_hit = idx
+            hit = winner_so_far()
+            if hit is not None:
+                position, seed = hit
+                execution, result, qualifies = _attempt(
+                    bundle, seed, input_overrides, expected_kind,
+                    expected_pc, switch_prob, instrument_loops, use_blocks)
+                if not qualifies:
+                    raise SearchError(
+                        "worker-reported stress seed %d for %s did not "
+                        "reproduce locally" % (seed, bundle.name))
+                dump = take_core_dump(execution, "failure")
+                return StressResult(
+                    seed=seed, runs_tried=position + 1,
+                    wall_seconds=time.perf_counter() - start,
+                    result=result, execution=execution, dump=dump)
+            if earliest_hit is not None:
+                for future, idx in list(futures.items()):
+                    if idx > earliest_hit and future.cancel():
+                        futures.pop(future)
+    finally:
+        for future in futures:
+            future.cancel()
+    raise SearchError(
+        "no failing interleaving found for %s in %d runs"
+        % (bundle.name, len(seeds)))
 
 
 def verify_passes_on_single_core(bundle, input_overrides=None):

@@ -58,6 +58,9 @@ class StepEffects:
     output_value: object = None
     #: True when this CALL/thread-start pushed a new frame
     entered_frame: bool = False
+    #: instructions summarized by this object — 1 on the per-instruction
+    #: path, the chain length when used as a block-execution summary
+    batch: int = 1
 
 
 @dataclass(frozen=True)

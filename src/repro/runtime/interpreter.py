@@ -19,6 +19,38 @@ through a class-level table of bound handlers rather than an ``if/elif``
 chain, the instruction array is cached on the execution, and
 :meth:`Execution.run` resolves hook and scheduler-observer methods once
 per run instead of per step.
+
+Block execution (the macro-step path)
+-------------------------------------
+
+When an execution is given a :class:`~repro.lang.blocks.BlockTable` and
+carries no hooks, :meth:`Execution.run` switches to a block-granularity
+loop for schedulers that support it: one scheduler pick drives a whole
+*chain* of superblocks (:meth:`Execution.run_chain`), with one batched
+effects summary, scheduler observation only at chain boundaries, and the
+region-stack bookkeeping skipped at every pc where it provably cannot
+fire.  Chains break exactly at the points where a scheduler's
+instruction-mode decision could differ from "continue the same thread":
+before an ``ACQUIRE`` (the pick may block or redirect), immediately
+after any sync instruction (the observer must see it before the next
+pick), on thread exit or failure, and at the step budget.  Schedulers
+participate through two optional attributes:
+
+``block_granular = True``
+    The scheduler's per-instruction picks provably return the running
+    thread at every non-boundary point (deterministic and preempting
+    schedulers), so a chain may run to the next boundary outright.
+``block_commit(execution, runnable, thread, span, first)``
+    The scheduler commits to a number of consecutive steps of
+    ``thread``, drawing its per-instruction decisions eagerly (the
+    seeded multicore scheduler) so the resulting interleaving is
+    byte-identical to instruction mode.
+
+Everything observable — step counts, per-thread instruction counts,
+region stacks and loop counters (hence execution indices and core
+dumps), output order, failures — is byte-identical between the two
+paths; runs with hooks installed (tracing, alignment) always take the
+instruction path, because hooks define per-instruction observability.
 """
 
 from dataclasses import dataclass
@@ -99,10 +131,16 @@ class Execution:
         ``on_after_step(execution, effects)``,
         ``on_failure(execution, failure)``.  Hooks may raise
         :class:`StopExecution`.
+    blocks:
+        Optional :class:`~repro.lang.blocks.BlockTable` of ``compiled``.
+        When set (and no hooks are installed), :meth:`run` macro-steps
+        the execution at block granularity for schedulers that support
+        it; outcomes are byte-identical to instruction granularity.
     """
 
     def __init__(self, compiled, analysis, scheduler, input_overrides=None,
-                 instrument_loops=True, hooks=(), max_steps=1_000_000):
+                 instrument_loops=True, hooks=(), max_steps=1_000_000,
+                 blocks=None):
         self.compiled = compiled
         self.analysis = analysis
         self.program = compiled.program
@@ -114,6 +152,12 @@ class Execution:
         self.instrument_loops = instrument_loops
         self.hooks = list(hooks)
         self.max_steps = max_steps
+        self.blocks = blocks
+        #: scheduler pick count (one per dispatch round-trip) and, for
+        #: commit-style schedulers, block-commit call count — the
+        #: benchmark's dispatch metrics; never fed back into execution
+        self.sched_picks = 0
+        self.sched_commits = 0
 
         self.heap = Heap()
         self.globals = {}
@@ -362,6 +406,147 @@ class Execution:
         thread.instr_count += 1
         return effects
 
+    # -- block execution (the macro-step path) -------------------------------
+
+    def run_chain(self, thread_name, runnable, commit=None, limit=None):
+        """Execute one scheduler-atomic chain of ``thread_name``'s blocks.
+
+        Runs superblocks back to back under a single scheduler pick,
+        breaking exactly where the next pick could matter: before an
+        ``ACQUIRE``, right after any sync instruction (so the observer
+        processes it before the next pick), on failure, thread exit, a
+        pending scheduler switch, the ``max_steps`` budget, or after
+        ``limit`` steps (used by the replay engine to stop at checkpoint
+        steps).  Returns one batched :class:`StepEffects` summary whose
+        ``batch`` field counts the executed instructions; ``uses`` /
+        ``defs`` are scratch state with no consumers on this path and
+        are cleared per block.
+
+        ``commit`` is the scheduler's ``block_commit`` (or None for
+        block-granular schedulers): it pre-draws the scheduler's
+        per-instruction decisions over each block so interleavings stay
+        byte-identical to instruction mode.
+        """
+        thread = self.threads[thread_name]
+        blocks = self.blocks
+        spans = blocks.span
+        region_work = blocks.region_work
+        instrs = self._instrs
+        dispatch = self._DISPATCH
+        max_steps = self.max_steps
+        effects = StepEffects(thread=thread_name, step=self.step_count,
+                              pc=thread.pc, op=None)
+        uses, defs = effects.uses, effects.defs
+        if thread.started_at is None:
+            thread.started_at = self.step_count
+        first = True
+        executed = 0
+        while True:
+            frame = thread.current_frame
+            pc = frame.pc
+            count = spans[pc]
+            remaining = max_steps - self.step_count
+            if limit is not None and remaining > limit - executed:
+                remaining = limit - executed
+            if remaining >= 1:
+                if count > remaining:
+                    count = remaining
+            else:
+                # exhausted budget: mirror the instruction loop, which
+                # always executes one step before its max-steps check
+                count = 1
+            pending = False
+            if commit is not None and (count > 1 or not first):
+                self.sched_commits += 1
+                committed = commit(self, runnable, thread_name, count, first)
+                pending = committed < count
+                count = committed
+                if count == 0:
+                    break
+            del uses[:], defs[:]
+            try:
+                n = 0
+                while n < count:
+                    frame = thread.current_frame
+                    pc = frame.pc
+                    if region_work[pc]:
+                        self._pop_regions(frame, pc)
+                    instr = instrs[pc]
+                    dispatch[instr.op](self, instr, thread, frame, effects)
+                    self.step_count += 1
+                    thread.instr_count += 1
+                    n += 1
+            except RuntimeFault as fault:
+                self.failure = Failure(kind=fault.kind, pc=pc,
+                                       thread=thread_name,
+                                       message=fault.message)
+                self.status = ExecutionStatus.FAILED
+                thread.status = ThreadStatus.FAILED
+                self.step_count += 1
+                thread.instr_count += 1
+                executed += n + 1
+                break
+            executed += n
+            first = False
+            if effects.sync is not None:
+                break  # the observer must see the sync before the next pick
+            if (self.status != ExecutionStatus.RUNNING
+                    or thread.status is not ThreadStatus.READY):
+                break
+            if pending or self.step_count >= max_steps:
+                break
+            if limit is not None and executed >= limit:
+                break
+            if instrs[thread.pc].op is Opcode.ACQUIRE:
+                break  # pre-acquire pick point (may block or redirect)
+        effects.batch = executed
+        return effects
+
+    def _run_blocks(self, commit):
+        """The block-granularity run loop (one pick per chain)."""
+        scheduler = self.scheduler
+        observe = getattr(scheduler, "observe", None)
+        pick = scheduler.pick
+        try:
+            while self.status == ExecutionStatus.RUNNING:
+                runnable = self.runnable_threads()
+                if not runnable:
+                    if self.live_threads():
+                        self.status = ExecutionStatus.DEADLOCK
+                    else:
+                        self.status = ExecutionStatus.COMPLETED
+                    break
+                self.sched_picks += 1
+                name = pick(self, runnable)
+                if name not in runnable:
+                    raise InterpreterError(
+                        "scheduler picked non-runnable thread %r" % (name,))
+                effects = self.run_chain(name, runnable, commit)
+                if observe is not None:
+                    observe(self, effects)
+                if self.failure is not None:
+                    break
+                if self.step_count >= self.max_steps:
+                    self.status = ExecutionStatus.STOPPED
+                    self.stop_reason = "max-steps"
+                    break
+        except StopExecution as stop:  # pragma: no cover - hookless path
+            self.status = ExecutionStatus.STOPPED
+            self.stop_reason = stop.reason
+            self.stop_payload = stop.payload
+        return RunResult(status=self.status, failure=self.failure,
+                         steps=self.step_count, output=list(self.output),
+                         stop_reason=self.stop_reason,
+                         stop_payload=self.stop_payload)
+
+    def block_mode(self):
+        """Can this run macro-step?  (blocks installed, no hooks, and a
+        scheduler that is either block-granular or commit-capable.)"""
+        if self.blocks is None or self.hooks:
+            return False
+        return (getattr(self.scheduler, "block_granular", False)
+                or getattr(self.scheduler, "block_commit", None) is not None)
+
     def _execute(self, instr, thread, frame, effects):
         handler = self._DISPATCH.get(instr.op)
         if handler is None:
@@ -476,10 +661,16 @@ class Execution:
     def run(self):
         """Drive the execution to completion, failure, deadlock, or stop.
 
-        Hook and scheduler-observer methods are resolved once up front;
-        the per-step loop only calls pre-bound callables (hooks must be
+        With a block table, no hooks, and a block-capable scheduler the
+        run macro-steps at block granularity (byte-identical outcomes,
+        far fewer scheduler dispatches); otherwise hook and
+        scheduler-observer methods are resolved once up front and the
+        per-step loop only calls pre-bound callables (hooks must be
         fully installed before ``run`` is entered).
         """
+        if self.block_mode():
+            return self._run_blocks(
+                getattr(self.scheduler, "block_commit", None))
         before_hooks = self._bound_hook_methods("on_before_step")
         after_hooks = self._bound_hook_methods("on_after_step")
         failure_hooks = self._bound_hook_methods("on_failure")
@@ -496,6 +687,7 @@ class Execution:
                     else:
                         self.status = ExecutionStatus.COMPLETED
                     break
+                self.sched_picks += 1
                 name = pick(self, runnable)
                 if name not in runnable:
                     raise InterpreterError(

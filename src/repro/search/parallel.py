@@ -152,6 +152,12 @@ class WorkerSessionSpec:
     #: ((thread, kind, lock, occurrence), step) pairs — the restore
     #: points of the worker's replay engine
     step_map: tuple
+    #: macro-step testruns at block granularity (must match the driver
+    #: so worker-side executions are the driver's exact twins)
+    block_exec: bool = True
+    #: the driver's compiled :class:`~repro.lang.blocks.BlockTable`
+    #: (plain lists, cheap to pickle) so workers skip re-partitioning
+    block_table: object = None
 
 
 @dataclass
@@ -184,7 +190,9 @@ class _WorkerContext:
         # imported here: pipeline imports the search package, so a
         # module-level import would be circular
         from ..pipeline.bundle import ProgramBundle
-        bundle = ProgramBundle(spec.program)
+        bundle = ProgramBundle(spec.program,
+                               block_exec=getattr(spec, "block_exec", True),
+                               block_table=getattr(spec, "block_table", None))
 
         def factory(scheduler):
             return bundle.execution(scheduler,

@@ -176,6 +176,32 @@ def enumerate_candidates(events, csv_locs, ranked_accesses,
     return candidates
 
 
+def map_candidates_to_block_heads(candidates, blocks):
+    """``{cid: pc}`` of candidates mapped onto superblock heads.
+
+    The contract between the block partition and the search layer:
+    every preemption candidate must sit at a block head — acquire and
+    release instructions are singleton blocks and thread starts are
+    function entries — so block-granular testruns can fire every
+    preemption at exactly the step instruction-granular testruns would,
+    and the replay engine's checkpoints (taken at candidate steps) land
+    on chain boundaries.  Raises :class:`~repro.lang.errors.SearchError`
+    when the partition violates the contract; the session checks this
+    once per bug when block execution is enabled.
+    """
+    from ..lang.errors import SearchError
+
+    mapped = {}
+    for candidate in candidates:
+        if not blocks.is_head(candidate.pc):
+            raise SearchError(
+                "preemption candidate %s is not at a block head — the "
+                "superblock partition breaks the block-granular testrun "
+                "contract" % candidate.describe())
+        mapped[candidate.cid] = candidate.pc
+    return mapped
+
+
 def future_csvs_at(events, csv_locs, thread, step):
     """CSV locations ``thread`` accesses at or after ``step`` (passing run)."""
     future = set()
@@ -221,7 +247,16 @@ class PreemptingScheduler:
     is forced.  Unfireable preemptions (target not runnable) dissolve —
     the run simply continues deterministically, which mirrors CHESS
     discarding infeasible schedules.
+
+    Every point at which this scheduler's pick can deviate from "continue
+    the current thread" — a thread start, a pre-acquire redirect, a
+    post-release force — is a superblock boundary, so it is
+    ``block_granular``: the interpreter may run whole block chains per
+    pick and every planned preemption still fires exactly where
+    instruction-granularity execution would fire it.
     """
+
+    block_granular = True
 
     def __init__(self, plan):
         self.pending = list(plan)

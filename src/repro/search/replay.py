@@ -30,6 +30,7 @@ steps are ranking-independent, so chess and both chessX heuristics share
 one checkpoint store.
 """
 
+from bisect import bisect_right
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
@@ -174,6 +175,7 @@ class ReplayEngine:
         self.execution_factory = execution_factory
         self._step_by_key = {c.key(): c.step for c in candidates}
         self._restore_step_set = set(self._step_by_key.values())
+        self._sorted_restore_steps = sorted(self._restore_step_set)
         self.cache = CheckpointCache(max_entries=max_checkpoints,
                                      max_bytes=max_bytes)
         #: cumulative interpreter steps spent recording prefixes
@@ -196,6 +198,7 @@ class ReplayEngine:
                      max_bytes=max_bytes)
         engine._step_by_key = dict(step_map)
         engine._restore_step_set = set(engine._step_by_key.values())
+        engine._sorted_restore_steps = sorted(engine._restore_step_set)
         return engine
 
     def step_map(self):
@@ -276,6 +279,16 @@ class ReplayEngine:
             scheduler.restore_prefix(base.prefix)
         return self._record_until(execution, scheduler, step)
 
+    def _next_stop(self, step_count, target_step):
+        """The next step the recording run must halt at (checkpoint or
+        target), strictly after ``step_count``; None when past all."""
+        steps = self._sorted_restore_steps
+        i = bisect_right(steps, step_count)
+        nxt = steps[i] if i < len(steps) else None
+        if target_step > step_count and (nxt is None or target_step < nxt):
+            return target_step
+        return nxt
+
     def _record_until(self, execution, scheduler, target_step):
         """Drive the deterministic run to ``target_step``, capturing.
 
@@ -284,8 +297,17 @@ class ReplayEngine:
         Returns the entry for ``target_step``, or None when the
         deterministic run ends first (a plan referencing a step the
         passing run never reaches falls back to scratch execution).
+
+        When the execution macro-steps (block table installed, no
+        hooks), the run is driven as block chains clipped at the next
+        checkpoint step — candidate steps are block heads, so the clip
+        is a safety net, and the recorded prefix (state, scheduler
+        prefix, step accounting) is byte-identical to per-instruction
+        recording.
         """
         wanted = self._restore_step_set
+        chains = (execution.blocks is not None and not execution.hooks
+                  and getattr(scheduler, "block_granular", False))
         while True:
             step_count = execution.step_count
             if step_count == target_step:
@@ -302,11 +324,19 @@ class ReplayEngine:
             runnable = execution.runnable_threads()
             if not runnable:
                 return None
+            execution.sched_picks += 1
             name = scheduler.pick(execution, runnable)
-            effects = execution.step(name)
+            if chains:
+                stop = self._next_stop(step_count, target_step)
+                limit = None if stop is None else stop - step_count
+                effects = execution.run_chain(name, runnable, limit=limit)
+                advanced = effects.batch
+            else:
+                effects = execution.step(name)
+                advanced = 1
             scheduler.observe(execution, effects)
-            self.recording_steps += 1
-            self._undrained_recording_steps += 1
+            self.recording_steps += advanced
+            self._undrained_recording_steps += advanced
             if execution.failure is not None \
                     or execution.step_count >= execution.max_steps:
                 return None

@@ -1,0 +1,72 @@
+"""The parallel stress sweep must be byte-identical to the serial one.
+
+The sweep shards contiguous seed ranges over the shared process pool
+and reduces deterministically: the lowest failing seed position wins,
+and the winning seed is re-executed locally.  ``seed``, ``runs_tried``,
+the failing run's step count, and the resulting core dump must match
+the serial sweep exactly.
+"""
+
+import pytest
+
+from repro.bugs import get_scenario
+from repro.coredump.serialize import dump_to_json
+from repro.lang.errors import SearchError
+from repro.pipeline import ProgramBundle, ReproSession, ReproductionConfig
+from repro.pipeline.stress import stress_test
+
+NAMES = ("fig1", "apache-1", "mysql-2")
+
+
+@pytest.fixture(scope="module")
+def bundles():
+    return {name: (get_scenario(name), ProgramBundle(get_scenario(name).build()))
+            for name in NAMES}
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_parallel_sweep_matches_serial(bundles, name):
+    scenario, bundle = bundles[name]
+    kwargs = dict(input_overrides=scenario.input_overrides,
+                  seeds=range(8000),
+                  expected_kind=scenario.expected_fault)
+    serial = stress_test(bundle, **kwargs)
+    parallel = stress_test(bundle, workers=2, **kwargs)
+    assert parallel.seed == serial.seed
+    assert parallel.runs_tried == serial.runs_tried
+    assert parallel.result.steps == serial.result.steps
+    assert parallel.result.failure == serial.result.failure
+    assert dump_to_json(parallel.dump) == dump_to_json(serial.dump)
+
+
+def test_parallel_sweep_no_failure_raises(bundles):
+    scenario, bundle = bundles["fig1"]
+    # a fault kind no run produces: both sweeps must exhaust and raise
+    kwargs = dict(input_overrides=scenario.input_overrides,
+                  seeds=range(8), expected_kind="no-such-fault")
+    with pytest.raises(SearchError):
+        stress_test(bundle, **kwargs)
+    with pytest.raises(SearchError):
+        stress_test(bundle, workers=2, **kwargs)
+
+
+def test_session_stress_workers_config(bundles):
+    """The session knob drives the parallel sweep with identical results."""
+    scenario, bundle = bundles["fig1"]
+    outcomes = {}
+    for workers in (1, 2):
+        session = ReproSession(
+            bundle, config=ReproductionConfig(stress_workers=workers),
+            input_overrides=scenario.input_overrides,
+            stress_seeds=range(8000),
+            expected_kind=scenario.expected_fault)
+        session.acquire_failure()
+        outcomes[workers] = session.stress
+    assert outcomes[1].seed == outcomes[2].seed
+    assert outcomes[1].runs_tried == outcomes[2].runs_tried
+    assert dump_to_json(outcomes[1].dump) == dump_to_json(outcomes[2].dump)
+
+
+def test_stress_workers_validated():
+    with pytest.raises(ValueError):
+        ReproductionConfig(stress_workers=0)

@@ -1,0 +1,176 @@
+"""Block-mode vs instruction-mode equivalence at the runtime level.
+
+Property, over the whole bug registry: executing under a block table
+must be **byte-identical** to per-instruction execution for every
+scheduler that opts into block granularity — same status, step counts,
+per-thread instruction counts, output stream, failure, and core dump —
+while issuing strictly fewer scheduler dispatches.  Scripted schedulers
+(no block protocol) must keep instruction granularity even when a block
+table is installed.
+"""
+
+import pytest
+
+from repro.bugs import all_scenarios, get_scenario
+from repro.coredump.dump import take_core_dump
+from repro.coredump.serialize import dump_to_json
+from repro.pipeline.bundle import ProgramBundle
+from repro.runtime.scheduler import (
+    DeterministicScheduler,
+    MulticoreScheduler,
+    ScriptedScheduler,
+)
+
+ALL_NAMES = [s.name for s in all_scenarios()]
+MULTICORE_SEEDS = range(25)
+
+_BUNDLES = {}
+
+
+def bundle_for(name):
+    if name not in _BUNDLES:
+        _BUNDLES[name] = ProgramBundle(get_scenario(name).build())
+    return _BUNDLES[name]
+
+
+def run_once(bundle, scheduler, use_blocks, overrides):
+    execution = bundle.execution(scheduler, input_overrides=overrides,
+                                 use_blocks=use_blocks)
+    result = execution.run()
+    anchor = execution.program.threads[0].name
+    dump = dump_to_json(take_core_dump(execution, "aligned",
+                                       failing_thread=anchor))
+    return execution, result, dump
+
+
+def assert_identical(name, make_scheduler):
+    scenario = get_scenario(name)
+    bundle = bundle_for(name)
+    ei, ri, di = run_once(bundle, make_scheduler(), False,
+                          scenario.input_overrides)
+    eb, rb, db = run_once(bundle, make_scheduler(), True,
+                          scenario.input_overrides)
+    assert ri.status == rb.status
+    assert ri.steps == rb.steps
+    assert ri.output == rb.output
+    assert ri.failure == rb.failure
+    assert di == db  # threads, frames, loop counters, heap, globals
+    for tname in bundle.thread_names():
+        assert (ei.threads[tname].instr_count
+                == eb.threads[tname].instr_count)
+        assert (ei.threads[tname].started_at
+                == eb.threads[tname].started_at)
+    return ei, eb
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_deterministic_identical_with_fewer_dispatches(name):
+    ei, eb = assert_identical(name, DeterministicScheduler)
+    assert eb.sched_picks < ei.sched_picks
+    assert ei.sched_picks == ei.step_count  # instruction mode: 1 per step
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_multicore_identical_across_seeds(name):
+    for seed in MULTICORE_SEEDS:
+        ei, eb = assert_identical(
+            name, lambda: MulticoreScheduler(seed=seed))
+        assert eb.sched_picks <= ei.sched_picks
+
+
+def test_scripted_scheduler_keeps_instruction_granularity():
+    """No block protocol declared -> the block path must not engage."""
+    bundle = bundle_for("fig1")
+    script = ["T1", "T2"] * 50
+    a = bundle.execution(ScriptedScheduler(list(script)), use_blocks=False)
+    b = bundle.execution(ScriptedScheduler(list(script)), use_blocks=True)
+    assert not b.block_mode()
+    ra, rb = a.run(), b.run()
+    assert (ra.status, ra.steps, ra.output) == (rb.status, rb.steps, rb.output)
+    assert a.sched_picks == b.sched_picks == a.step_count
+
+
+def test_hooks_force_instruction_granularity():
+    """Hooks define per-instruction observability: block mode backs off."""
+    events = []
+
+    class Hook:
+        def on_after_step(self, execution, effects):
+            events.append(effects.step)
+
+    bundle = bundle_for("fig1")
+    execution = bundle.execution(DeterministicScheduler(), hooks=[Hook()],
+                                 use_blocks=True)
+    assert not execution.block_mode()
+    result = execution.run()
+    assert len(events) == result.steps  # one effects record per instruction
+
+
+def test_max_steps_cutoff_identical():
+    bundle = bundle_for("fig1")
+    for budget in (1, 7, 50):
+        a = bundle.execution(DeterministicScheduler(), max_steps=budget,
+                             use_blocks=False)
+        b = bundle.execution(DeterministicScheduler(), max_steps=budget,
+                             use_blocks=True)
+        ra, rb = a.run(), b.run()
+        assert ra.status == rb.status == "stopped"
+        assert ra.stop_reason == rb.stop_reason == "max-steps"
+        assert ra.steps == rb.steps == budget
+
+
+def test_multicore_scheduler_snapshot_restore_round_trip():
+    """Regression (satellite): the multicore scheduler must round-trip
+    its RNG (and pending-pick) state through snapshot/restore — it
+    carries mutable state just like the deterministic scheduler, but
+    previously offered no snapshot support at all."""
+    scheduler = MulticoreScheduler(seed=7)
+    runnable = ["T1", "T2", "T3"]
+    for _ in range(5):
+        scheduler.pick(None, runnable)
+    state = scheduler.snapshot()
+    ahead = [scheduler.pick(None, runnable) for _ in range(20)]
+    scheduler.restore(state)
+    replay = [scheduler.pick(None, runnable) for _ in range(20)]
+    assert replay == ahead
+    # commit state (a parked pending pick) must round-trip too
+    scheduler.restore(state)
+    committed = scheduler.block_commit(None, runnable, "T1", 50, True)
+    assert committed < 50  # seed 7 switches within 50 draws
+    mid = scheduler.snapshot()
+    ahead = [scheduler.pick(None, runnable) for _ in range(10)]
+    scheduler.restore(mid)
+    assert [scheduler.pick(None, runnable) for _ in range(10)] == ahead
+
+
+def test_multicore_snapshot_resumes_mid_run():
+    """A snapshot taken mid-run resumes the exact interleaving suffix."""
+    bundle = bundle_for("fig1")
+
+    def drive(scheduler, execution, steps):
+        picks = []
+        for _ in range(steps):
+            runnable = execution.runnable_threads()
+            if not runnable:
+                break
+            name = scheduler.pick(execution, runnable)
+            picks.append(name)
+            effects = execution.step(name)
+            scheduler.observe(execution, effects)
+        return picks
+
+    # reference run: 10-step prefix, snapshot, 30-step suffix
+    scheduler = MulticoreScheduler(seed=3)
+    execution = bundle.execution(scheduler, use_blocks=False)
+    drive(scheduler, execution, 10)
+    state = scheduler.snapshot()
+    suffix = drive(scheduler, execution, 30)
+    # second run: identical 10-step prefix (same seed, deterministic),
+    # then a scheduler restored from the snapshot — even one seeded
+    # differently — must reproduce the suffix picks exactly
+    replayed = MulticoreScheduler(seed=999)
+    execution2 = bundle.execution(MulticoreScheduler(seed=3),
+                                  use_blocks=False)
+    drive(execution2.scheduler, execution2, 10)
+    replayed.restore(state)
+    assert drive(replayed, execution2, 30) == suffix

@@ -1,0 +1,164 @@
+"""Block execution's correctness bar (property, over the registry).
+
+For *every* registered bug and every strategy — plain chess and both
+chessX heuristics — a block-mode search must produce the **identical**
+:class:`SearchOutcome` to an instruction-mode search: same plan, tries,
+failure signature, and *physical* step split (``executed_steps`` /
+``skipped_steps`` — block mode changes dispatch granularity, never what
+executes).  The comparison is repeated under forced checkpoint eviction
+(``replay_max_bytes=1``), which drives the replay engine's block-mode
+recording loop through constant re-recording from scratch.
+
+Both sessions share one failure dump produced by a block-mode stress
+sweep that is itself checked against an instruction-mode sweep — so the
+equivalence covers all three schedulers: multicore (stress),
+deterministic (the aligned passing run), preempting (testruns).
+"""
+
+import pytest
+
+from repro.bugs import all_scenarios, get_scenario
+from repro.coredump.serialize import dump_to_json
+from repro.pipeline import ProgramBundle, ReproSession, ReproductionConfig
+from repro.search.preemption import map_candidates_to_block_heads
+
+ALL_NAMES = [s.name for s in all_scenarios()]
+STRATEGIES = ("chess", "chessX+dep", "chessX+temporal")
+
+#: generous time budgets so both modes cut off on tries, never on wall
+#: time (a wall cutoff would make try counts machine-dependent)
+_CONFIG_KW = dict(chess_max_seconds=10_000.0, chessx_max_seconds=10_000.0)
+
+_CACHE = {}
+
+
+def sessions_for(name, **extra):
+    """(instr_session, block_session) sharing one failure dump."""
+    key = (name, tuple(sorted(extra.items())))
+    if key not in _CACHE:
+        scenario = get_scenario(name)
+        bundle = ProgramBundle(scenario.build())
+        base = ReproSession(bundle,
+                            input_overrides=scenario.input_overrides,
+                            stress_seeds=range(8000),
+                            expected_kind=scenario.expected_fault)
+        dump = base.acquire_failure()
+        instr = ReproSession(
+            bundle,
+            config=ReproductionConfig(block_exec=False, **_CONFIG_KW,
+                                      **extra),
+            failure_dump=dump, input_overrides=scenario.input_overrides)
+        block = ReproSession(
+            bundle,
+            config=ReproductionConfig(block_exec=True, **_CONFIG_KW,
+                                      **extra),
+            failure_dump=dump, input_overrides=scenario.input_overrides)
+        _CACHE[key] = (instr, block)
+    return _CACHE[key]
+
+
+def assert_outcomes_identical(a, b):
+    assert a.plan == b.plan
+    assert a.tries == b.tries
+    assert a.reproduced == b.reproduced
+    assert a.cutoff == b.cutoff
+    assert a.total_steps == b.total_steps
+    assert a.tries_by_size == b.tries_by_size
+    # block mode changes the dispatch granularity, never the work: even
+    # the physical executed/skipped split and memo hits must match
+    assert a.executed_steps == b.executed_steps
+    assert a.skipped_steps == b.skipped_steps
+    assert a.memo_hits == b.memo_hits
+    if a.failure is None:
+        assert b.failure is None
+    else:
+        assert a.failure.signature() == b.failure.signature()
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_block_outcome_identical(name, strategy):
+    instr, block = sessions_for(name)
+    assert_outcomes_identical(instr.search(strategy), block.search(strategy))
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_block_stress_and_analysis_identical(name):
+    """The multicore stress sweep and the deterministic aligned run of a
+    block-mode session match instruction mode byte for byte."""
+    scenario = get_scenario(name)
+    bundle = ProgramBundle(scenario.build())
+    sessions = {}
+    for mode in (False, True):
+        session = ReproSession(
+            bundle, config=ReproductionConfig(block_exec=mode),
+            input_overrides=scenario.input_overrides,
+            stress_seeds=range(8000),
+            expected_kind=scenario.expected_fault)
+        session.acquire_failure()
+        session.analyze_dump()
+        sessions[mode] = session
+    a, b = sessions[False], sessions[True]
+    assert a.stress.seed == b.stress.seed
+    assert a.stress.runs_tried == b.stress.runs_tried
+    assert a.stress.result.steps == b.stress.result.steps
+    assert dump_to_json(a.failure_dump) == dump_to_json(b.failure_dump)
+    # aligned run carries hooks, so both sessions trace identically
+    assert dump_to_json(a._analysis.aligned_dump) \
+        == dump_to_json(b._analysis.aligned_dump)
+    assert len(a._analysis.events) == len(b._analysis.events)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_block_identical_under_forced_eviction(name):
+    """replay_max_bytes=1: every checkpoint but the newest is evicted,
+    so block-mode prefix recording constantly re-records — outcomes must
+    still be byte-identical to instruction mode under the same duress."""
+    instr, block = sessions_for(name, replay_max_bytes=1)
+    for strategy in STRATEGIES:
+        assert_outcomes_identical(instr.search(strategy),
+                                  block.search(strategy))
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_candidates_sit_on_block_heads(name):
+    """The partition/search contract behind block-granular testruns."""
+    instr, block = sessions_for(name)
+    engine = block.replay_engine()
+    assert engine is not None
+    from repro.search.preemption import enumerate_candidates
+
+    candidates = enumerate_candidates(block.analyze_dump().events,
+                                      frozenset(), [])
+    mapped = map_candidates_to_block_heads(candidates,
+                                           block.bundle.block_table)
+    assert len(mapped) == len(candidates)
+
+
+def test_fig1_search_uses_fewer_dispatches():
+    """The point of the exercise: identical outcomes, fewer round-trips."""
+    cached_instr, _cached_block = sessions_for("fig1")
+    scenario = get_scenario("fig1")
+    counts = {}
+    pairs = []
+    for mode, label in ((False, "instr"), (True, "block")):
+        session = ReproSession(
+            cached_instr.bundle,
+            config=ReproductionConfig(block_exec=mode, **_CONFIG_KW),
+            failure_dump=cached_instr.failure_dump,
+            input_overrides=scenario.input_overrides)
+        pairs.append((session, label))
+    for session, label in pairs:
+        executions = []
+        original = session._execution_factory
+
+        def factory(scheduler, _orig=original, _log=executions):
+            execution = _orig(scheduler)
+            _log.append(execution)
+            return execution
+
+        session._execution_factory = factory
+        session.search("chessX+dep")
+        counts[label] = sum(e.sched_picks for e in executions)
+    assert counts["block"] > 0
+    assert counts["block"] * 3 <= counts["instr"]
