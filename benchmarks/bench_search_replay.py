@@ -28,6 +28,7 @@ the new (deterministic) dispatch metrics.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -556,3 +557,63 @@ def test_fig1_exec_core_baseline_gate(exec_core):
         floor = base["dispatch_ratio"] * (1.0 - BASELINE_TOLERANCE)
         assert now["dispatch_ratio"] >= floor, \
             (phase, now["dispatch_ratio"], base["dispatch_ratio"])
+
+
+# ---------------------------------------------------------------------------
+# the synthetic suite (generated scenarios)
+# ---------------------------------------------------------------------------
+
+#: how many generated scenarios this section samples (0 skips it); the
+#: sample is seeded by REPRO_SYNTH_SEED so CI runs are reproducible
+SYNTH_SAMPLE = int(os.environ.get("REPRO_SYNTH_SAMPLE", "2"))
+SYNTH_SEED = int(os.environ.get("REPRO_SYNTH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def synth_outcomes():
+    """Full strategy suite per sampled generated scenario."""
+    from repro.bugs import get_scenario, synth
+    from repro.pipeline import ReproSession
+
+    if SYNTH_SAMPLE <= 0:
+        pytest.skip("REPRO_SYNTH_SAMPLE=0 disables the synth section")
+    results = {}
+    for name in synth.sample_names(SYNTH_SAMPLE, SYNTH_SEED):
+        session = ReproSession.from_scenario(
+            name, config=ReproductionConfig(**_CONFIG_KW),
+            stress_seeds=range(8000))
+        session.acquire_failure()
+        results[name] = (get_scenario(name), session,
+                         _timed_searches(session))
+    return results
+
+
+def test_synth_suite_table(synth_outcomes):
+    """Record the generated-suite search costs; no baseline gate — the
+    sampled names move with the REPRO_SYNTH_* knobs, and the point of
+    this section is the cross-family trend (e.g. the dep heuristic
+    trailing plain chess on the split-lock family), not a pinned
+    number."""
+    headers = ["bug", "strategy", "reproduced", "tries", "total steps",
+               "time"]
+    rows = []
+    doc = _load_bench_doc()
+    for name, (scenario, session, timed) in synth_outcomes.items():
+        doc_entry = {"family": scenario.tags[1], "strategies": {}}
+        for strategy in STRATEGIES:
+            outcome, wall = timed[strategy]
+            assert outcome.reproduced, (name, strategy)
+            assert outcome.failure.signature() == \
+                session.failure_dump.failure.signature(), (name, strategy)
+            rows.append([name, strategy, outcome.reproduced, outcome.tries,
+                         outcome.total_steps, "%.3fs" % wall])
+            doc_entry["strategies"][strategy] = {
+                "tries": outcome.tries,
+                "total_steps": outcome.total_steps,
+                "executed_steps": outcome.executed_steps,
+                "wall_s": round(wall, 4),
+            }
+        doc.setdefault("synth", {})[name] = doc_entry
+    _write_bench_doc(doc)
+    print_table("Search: generated scenarios (seeded sample, "
+                "REPRO_SYNTH_SEED=%d)" % SYNTH_SEED, headers, rows)

@@ -153,5 +153,6 @@ register(BugScenario(
     crash_func="cache_insert",
     notes="Needs two preemptions: before t1's create acquire and before "
           "t2's write acquire (the paper's case study schedule).",
-    tags=("case-study",),
+    tags=("paper", "table2", "case-study"),
+    table2_rank=1,
 ))

@@ -78,4 +78,6 @@ register(BugScenario(
     crash_func="worker",
     notes="One preemption after the closer's release (handle gone, flag "
           "still set), switching to the worker.",
+    tags=("paper", "table2"),
+    table2_rank=2,
 ))

@@ -67,5 +67,5 @@ register(BugScenario(
     crash_func="F",
     notes="The reproduction needs one preemption after T1's lock release "
           "in the last iteration, switching to T2 (paper Sec. 2).",
-    tags=("example",),
+    tags=("paper", "example"),
 ))

@@ -71,4 +71,6 @@ register(BugScenario(
     expected_fault="assert",
     crash_func="appender",
     notes="One preemption between the two critical sections reproduces it.",
+    tags=("paper", "table2"),
+    table2_rank=3,
 ))

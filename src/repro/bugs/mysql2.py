@@ -77,4 +77,6 @@ register(BugScenario(
     expected_fault="null-deref",
     crash_func="reader",
     notes="One preemption after the reader's init release reproduces it.",
+    tags=("paper", "table2"),
+    table2_rank=4,
 ))

@@ -66,4 +66,6 @@ register(BugScenario(
     expected_fault="out-of-bounds",
     crash_func="popper",
     notes="One preemption after any popper release, switching to the racer.",
+    tags=("paper", "table2"),
+    table2_rank=5,
 ))

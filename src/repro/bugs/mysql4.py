@@ -77,4 +77,6 @@ register(BugScenario(
     crash_func="reader",
     notes="One preemption between the writer's two sections, switching "
           "to the reader.",
+    tags=("paper", "table2"),
+    table2_rank=6,
 ))

@@ -106,4 +106,6 @@ register(BugScenario(
     notes="One preemption after the worker's first release, switching to "
           "the cleaner.  The worker's while loop exercises the "
           "instrumented loop counters in Algorithm 1.",
+    tags=("paper", "table2"),
+    table2_rank=7,
 ))

@@ -30,6 +30,9 @@ class BugScenario:
     stress_seeds: object = None
     notes: str = ""
     tags: tuple = ()
+    #: position in the paper's Table 2 (None for scenarios outside it);
+    #: drives the deterministic :func:`all_scenarios` ordering
+    table2_rank: Optional[int] = None
 
 
 _REGISTRY = {}
@@ -51,15 +54,37 @@ def get_scenario(name):
             % (name, ", ".join(sorted(_REGISTRY)))) from None
 
 
+def _order_key(scenario):
+    """Table-2-ranked scenarios first (by declared rank), then the rest
+    sorted by name — so auxiliary (``fig1``) and generated (``synth-*``)
+    scenarios land deterministically after the paper suite."""
+    if scenario.table2_rank is not None:
+        return (0, scenario.table2_rank, scenario.name)
+    return (1, 0, scenario.name)
+
+
 def all_scenarios():
-    """Scenarios in the paper's Table 2 order."""
-    order = ["apache-1", "apache-2", "mysql-1", "mysql-2", "mysql-3",
-             "mysql-4", "mysql-5"]
-    listed = [_REGISTRY[n] for n in order if n in _REGISTRY]
-    extras = [s for n, s in sorted(_REGISTRY.items()) if n not in order]
-    return listed + extras
+    """Every registered scenario: Table 2 in rank order, then the rest
+    (auxiliary and synthetic) sorted by name."""
+    return sorted(_REGISTRY.values(), key=_order_key)
+
+
+def scenarios_by_tag(*include, exclude=()):
+    """Registered scenarios carrying every ``include`` tag and none of
+    ``exclude``, in :func:`all_scenarios` order.
+
+    >>> scenarios_by_tag("synth", "atom")      # one generated family
+    >>> scenarios_by_tag(exclude=("synth",))   # the hand-written suite
+    """
+    selected = []
+    for scenario in all_scenarios():
+        tags = set(scenario.tags)
+        if all(tag in tags for tag in include) \
+                and not any(tag in tags for tag in exclude):
+            selected.append(scenario)
+    return selected
 
 
 def table2_scenarios():
     """Only the seven Table 2 bugs (no auxiliary scenarios)."""
-    return [s for s in all_scenarios() if s.paper_id != "example"]
+    return [s for s in all_scenarios() if s.table2_rank is not None]

@@ -1,0 +1,137 @@
+"""Parameterized, seed-deterministic bug-family generator.
+
+The hand-written suite mirrors the paper's Table 2; this package grows
+the registry beyond it.  Four structurally distinct families — the
+shapes reproduction tooling must generalize over — are each
+parameterized over thread count, loop depth, shared-variable fan-out,
+padding-work length, and critical-section placement
+(:mod:`.params`), so one family yields dozens of distinct programs:
+
+* ``atom`` — two-step atomicity violation (check/use split),
+* ``order`` — order violation / missed signal (publish before init),
+* ``mvar`` — multi-variable invariant torn across critical sections,
+* ``lock`` — lock-ordering discipline breakdown (split-lock race).
+
+Every generated scenario honors the registry contract: the
+deterministic single-core run passes, some multicore interleaving
+fails with the declared fault kind inside the declared function, and
+the guided search reproduces it (asserted end-to-end by
+``tests/properties/test_synth_pipeline.py``).
+
+Generation is a pure function of ``(family, seed)`` — identical
+programs byte-for-byte in any process.  Scenario names are
+deterministic (``synth-<family>-s<seed>``) and every scenario carries
+``tags=("synth", <family>)`` for :func:`repro.bugs.scenarios_by_tag`
+filtering.
+
+Environment knobs (documented in the README):
+
+``REPRO_SYNTH_SEED``
+    Base seed of the default registered suite (default 0).
+``REPRO_SYNTH_PER_FAMILY``
+    Variants registered per family (default 5 -> 20 scenarios).
+``REPRO_SYNTH_SAMPLE``
+    How many registered synth scenarios the end-to-end property
+    harness (and the benchmark synth section) exercises per run.
+"""
+
+import os
+import random
+from functools import partial
+
+from ..registry import BugScenario, register, scenarios_by_tag
+from . import atom, lockorder, mvar, order
+from .params import FamilySpec, SynthParams, derive_params
+
+#: family key -> FamilySpec, in stable registration order
+FAMILIES = {
+    spec.key: spec
+    for spec in (atom.FAMILY, order.FAMILY, mvar.FAMILY, lockorder.FAMILY)
+}
+
+DEFAULT_PER_FAMILY = 5
+
+
+def build_program(family, seed):
+    """The generated :class:`~repro.lang.program.Program` of a variant."""
+    spec = FAMILIES[family]
+    return spec.build(derive_params(family, seed))
+
+
+def make_scenario(family, seed):
+    """A registrable :class:`BugScenario` for ``(family, seed)``."""
+    spec = FAMILIES[family]
+    params = derive_params(family, seed)
+    return BugScenario(
+        name=params.name,
+        paper_id="synthetic",
+        kind=spec.kind,
+        description="[synth] %s" % spec.describe(params),
+        build=partial(build_program, family, seed),
+        expected_fault=spec.expected_fault,
+        crash_func=spec.crash_func,
+        notes="generated: %s (threads=%d, loop_depth=%d, fanout=%d, "
+              "padding=%d, cs_position=%d)"
+              % (spec.title, params.threads, params.loop_depth,
+                 params.fanout, params.padding, params.cs_position),
+        tags=("synth", family),
+    )
+
+
+def default_seed():
+    return int(os.environ.get("REPRO_SYNTH_SEED", "0"))
+
+
+def per_family():
+    return int(os.environ.get("REPRO_SYNTH_PER_FAMILY",
+                              str(DEFAULT_PER_FAMILY)))
+
+
+def default_suite():
+    """The scenarios the package registers on import, in stable order."""
+    base = default_seed()
+    count = per_family()
+    return [make_scenario(family, seed)
+            for family in FAMILIES
+            for seed in range(base, base + count)]
+
+
+def sample_names(count, seed=None):
+    """A seeded, order-stable sample of registered synth scenario names.
+
+    The one sampling rule shared by the property harness and the
+    benchmark synth section, so ``REPRO_SYNTH_SAMPLE=8`` exercises the
+    same scenarios everywhere.  ``seed`` defaults to the
+    ``REPRO_SYNTH_SEED`` knob; the RNG is string-seeded, so the choice
+    is stable across processes.
+    """
+    seed = default_seed() if seed is None else seed
+    names = [s.name for s in scenarios_by_tag("synth")]
+    rng = random.Random("repro-synth-sample/%d" % seed)
+    return sorted(rng.sample(names, min(count, len(names))))
+
+
+_registered = False
+
+
+def register_default_suite():
+    """Register the default suite once (idempotent)."""
+    global _registered
+    if _registered:
+        return
+    _registered = True
+    for scenario in default_suite():
+        register(scenario)
+
+
+__all__ = [
+    "FAMILIES",
+    "FamilySpec",
+    "SynthParams",
+    "build_program",
+    "default_suite",
+    "derive_params",
+    "make_scenario",
+    "register_default_suite",
+    "sample_names",
+]

@@ -1,0 +1,107 @@
+"""Family ``atom``: two-step atomicity violation (mysql-2 shape).
+
+Readers lazily initialize shared cache slots under double-checked
+locking, bump a hit counter inside a critical section, and then — the
+bug — dereference the slot pointer *outside* any lock.  An invalidator
+thread retires sufficiently hot slots under the lock.  The reader's
+null check and its dereference are not atomic, so an invalidation
+landing between them crashes the reader.
+
+Parameter mapping: ``threads - 1`` readers contend with one
+invalidator, ``fanout`` independent cache slots, ``loop_depth`` scales
+the read loop, ``padding`` widens the check-to-dereference window, and
+``cs_position`` moves the hit-counter critical section around the
+window (before the padding, after it, or splitting it).
+"""
+
+from ...lang import builder as B
+from .params import FamilySpec, padding_stmts
+
+
+def build(params):
+    iters = 8 + 4 * params.loop_depth
+    readers = params.threads - 1
+    stale_after = max(2, (readers * iters) // 3)
+
+    cs = [
+        B.acquire("cache_lock"),
+        B.assign("hits", B.add(B.v("hits"), 1)),
+        B.release("cache_lock"),
+    ]
+    pads = padding_stmts("pad", B.v("j"), params.padding)
+    if params.cs_position == 0:
+        window = cs + pads
+    elif params.cs_position == 1:
+        window = pads + cs
+    else:
+        window = pads[:1] + cs + pads[1:]
+
+    reader = B.func("reader", ["rid"], [
+        B.assign("pad", 0),
+        B.assign("s", 0),
+        B.for_("j", 0, iters, [
+            B.assign("slot", B.mod(B.v("j"), params.fanout)),
+            # lazy init: double-checked locking, correct by itself
+            B.if_(B.eq(B.index(B.v("ptrs"), B.v("slot")), B.null()), [
+                B.acquire("cache_lock"),
+                B.if_(B.eq(B.index(B.v("ptrs"), B.v("slot")), B.null()), [
+                    B.assign(B.index(B.v("ptrs"), B.v("slot")),
+                             B.alloc_struct(val=B.add(B.v("rid"), 7))),
+                ]),
+                B.release("cache_lock"),
+            ]),
+            *window,
+            # BUG: dereference outside the lock; the slot may have been
+            # invalidated since the null check above.
+            B.assign("s", B.field(B.index(B.v("ptrs"), B.v("slot")),
+                                  "val")),
+            B.assign("total", B.add(B.v("total"), B.v("s"))),
+        ]),
+    ])
+
+    invalidator = B.func("invalidator", [], [
+        B.for_("p", 0, iters * readers, [
+            B.assign("k", B.mod(B.v("p"), params.fanout)),
+            B.acquire("cache_lock"),
+            B.if_(B.and_(B.ge(B.v("hits"), stale_after),
+                         B.ne(B.index(B.v("ptrs"), B.v("k")), B.null())), [
+                B.assign(B.index(B.v("ptrs"), B.v("k")), B.null()),
+                B.assign("retired", B.add(B.v("retired"), 1)),
+            ]),
+            B.release("cache_lock"),
+        ]),
+    ])
+
+    threads = [B.thread("reader%d" % (i + 1), "reader", [i + 1])
+               for i in range(readers)]
+    threads.append(B.thread("inv", "invalidator"))
+    return B.program(
+        params.name,
+        globals_={
+            "ptrs": [None] * params.fanout,
+            "hits": 0,
+            "total": 0,
+            "retired": 0,
+        },
+        functions=[reader, invalidator],
+        threads=threads,
+        locks=["cache_lock"],
+    )
+
+
+def describe(params):
+    return ("two-step atomicity violation: %d reader(s) over %d cache "
+            "slot(s), dereference outside the lock, padding %d, cs@%d"
+            % (params.threads - 1, params.fanout, params.padding,
+               params.cs_position))
+
+
+FAMILY = FamilySpec(
+    key="atom",
+    kind="atom",
+    expected_fault="null-deref",
+    crash_func="reader",
+    title="two-step atomicity violation (check/use split across a lock)",
+    build=build,
+    describe=describe,
+)

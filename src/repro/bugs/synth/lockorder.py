@@ -1,0 +1,124 @@
+"""Family ``lock``: lock-ordering discipline breakdown (split-lock race).
+
+Pushers append to a shared stack under a *two-lock* discipline: an
+outer ordering lock serializes whole pushes, an inner slot lock guards
+``top`` and the slot array.  The bug is that the inner lock is dropped
+between reserving the slot (``top += 1``) and publishing the entry, so
+the stack invariant "``top > 0`` implies ``slots[top-1]`` is valid" —
+which the popper relies on, taking *only* the inner lock — is broken
+while a push is in flight.  A pop landing in the window takes a hole
+and dereferences NULL inside ``consume``.
+
+This is the deadlock-adjacent shape: two locks, nested acquisition,
+inconsistent coverage — everything short of the opposite-order
+acquisition that would hang instead of crash.
+
+Parameter mapping: ``threads - 1`` pushers against one popper,
+``loop_depth`` scales the rounds, ``padding`` widens the reserve-to-
+publish window, and ``cs_position`` weakens the outer-lock discipline
+(held across the whole push, released after the reservation, or
+missing entirely).  ``fanout`` scales the popper's drain loop.
+"""
+
+from ...lang import builder as B
+from .params import FamilySpec, padding_stmts
+
+
+def build(params):
+    pushers = params.threads - 1
+    rounds = 3 + params.loop_depth
+    capacity = pushers * rounds
+    pops = capacity + params.fanout
+
+    reserve = [
+        B.acquire("slot_lock"),
+        B.assign("top", B.add(B.v("top"), 1)),
+        B.assign("mine", B.sub(B.v("top"), 1)),
+        B.release("slot_lock"),
+    ]
+    publish = [
+        B.acquire("slot_lock"),
+        B.assign(B.index(B.v("slots"), B.v("mine")),
+                 B.alloc_struct(tag=B.v("pid"))),
+        B.release("slot_lock"),
+    ]
+    # the in-window work touches the reserved cell (scrub before
+    # publish), so the window is visible to the dump-diff heuristics
+    window = [B.assign(B.index(B.v("slots"), B.v("mine")), B.null())] \
+        + padding_stmts("pad", B.v("i"), params.padding)
+    if params.cs_position == 0:
+        # outer lock held across the whole push (pushes serialized, the
+        # popper still slips into the inner window)
+        push_body = ([B.acquire("order_lock")] + reserve + window + publish
+                     + [B.release("order_lock")])
+    elif params.cs_position == 1:
+        # outer lock covers only the reservation
+        push_body = ([B.acquire("order_lock")] + reserve
+                     + [B.release("order_lock")] + window + publish)
+    else:
+        # ordering discipline abandoned entirely
+        push_body = reserve + window + publish
+
+    pusher = B.func("pusher", ["pid"], [
+        B.assign("pad", 0),
+        B.for_("i", 0, rounds, push_body),
+    ])
+
+    consume = B.func("consume", ["q"], [
+        # BUG SITE: "top > 0 implied a valid entry"
+        B.assign("t", B.field(B.v("q"), "tag")),
+        B.assign("sink", B.add(B.v("sink"), B.v("t"))),
+    ])
+
+    popper = B.func("popper", [], [
+        B.for_("j", 0, pops, [
+            B.assign("e", B.null()),
+            B.assign("got", 0),
+            B.acquire("slot_lock"),
+            B.if_(B.gt(B.v("top"), 0), [
+                B.assign("top", B.sub(B.v("top"), 1)),
+                B.assign("e", B.index(B.v("slots"), B.v("top"))),
+                B.assign(B.index(B.v("slots"), B.v("top")), B.null()),
+                B.assign("got", 1),
+            ]),
+            B.release("slot_lock"),
+            B.if_(B.v("got"), [
+                B.call("consume", [B.v("e")]),
+            ]),
+        ]),
+    ])
+
+    threads = [B.thread("push%d" % (i + 1), "pusher", [i + 1])
+               for i in range(pushers)]
+    threads.append(B.thread("pop", "popper"))
+    return B.program(
+        params.name,
+        globals_={
+            "slots": [None] * capacity,
+            "top": 0,
+            "sink": 0,
+        },
+        functions=[pusher, consume, popper],
+        threads=threads,
+        locks=["order_lock", "slot_lock"],
+    )
+
+
+def describe(params):
+    discipline = ("outer lock across push", "outer lock on reserve only",
+                  "no outer lock")[params.cs_position]
+    return ("lock-ordering breakdown: %d pusher(s) reserving/publishing "
+            "under a split inner lock (%s), padding %d"
+            % (params.threads - 1, discipline, params.padding))
+
+
+FAMILY = FamilySpec(
+    key="lock",
+    kind="atom",
+    expected_fault="null-deref",
+    crash_func="consume",
+    title="split-lock stack: reserve/publish window breaks the pop "
+          "invariant",
+    build=build,
+    describe=describe,
+)

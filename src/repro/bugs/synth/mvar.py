@@ -1,0 +1,107 @@
+"""Family ``mvar``: multi-variable invariant race.
+
+Updater threads keep ``bal[k] == aud[k]`` by adding the same delta to
+both — but in *two separate* critical sections with unrelated work in
+between, so the multi-variable invariant is broken while an update is
+in flight.  A checker thread asserts the invariant; scheduled into the
+window it observes the torn state and the assertion fires.
+
+Parameter mapping: ``threads - 1`` updaters against one checker,
+``fanout`` independent variable pairs, ``loop_depth`` scales the
+loops, ``padding`` widens the torn window, and ``cs_position`` picks
+how the checker samples the pair (inside one critical section, a
+locked snapshot asserted outside, or — racier still — no lock at all).
+"""
+
+from ...lang import builder as B
+from .params import FamilySpec, padding_stmts
+
+
+def build(params):
+    iters = 6 + 4 * params.loop_depth
+    updaters = params.threads - 1
+    checks = iters * updaters
+
+    updater = B.func("updater", ["uid"], [
+        B.assign("pad", 0),
+        B.for_("j", 0, iters, [
+            B.assign("k", B.mod(B.v("j"), params.fanout)),
+            B.assign("d", B.add(B.mod(B.add(B.v("j"), B.v("uid")), 5), 1)),
+            B.acquire("acct_lock"),
+            B.assign(B.index(B.v("bal"), B.v("k")),
+                     B.add(B.index(B.v("bal"), B.v("k")), B.v("d"))),
+            B.release("acct_lock"),
+            # BUG: the invariant bal[k] == aud[k] is broken until the
+            # second half of the update lands
+            *padding_stmts("pad", B.v("j"), params.padding),
+            B.acquire("acct_lock"),
+            B.assign(B.index(B.v("aud"), B.v("k")),
+                     B.add(B.index(B.v("aud"), B.v("k")), B.v("d"))),
+            B.release("acct_lock"),
+        ]),
+    ])
+
+    if params.cs_position == 0:
+        check_body = [
+            B.acquire("acct_lock"),
+            B.assert_(B.eq(B.index(B.v("bal"), B.v("k2")),
+                           B.index(B.v("aud"), B.v("k2"))),
+                      "balance/audit invariant"),
+            B.release("acct_lock"),
+        ]
+    elif params.cs_position == 1:
+        check_body = [
+            B.acquire("acct_lock"),
+            B.assign("b", B.index(B.v("bal"), B.v("k2"))),
+            B.assign("a", B.index(B.v("aud"), B.v("k2"))),
+            B.release("acct_lock"),
+            B.assert_(B.eq(B.v("b"), B.v("a")),
+                      "balance/audit invariant"),
+        ]
+    else:
+        check_body = [
+            B.assign("b", B.index(B.v("bal"), B.v("k2"))),
+            B.assign("a", B.index(B.v("aud"), B.v("k2"))),
+            B.assert_(B.eq(B.v("b"), B.v("a")),
+                      "balance/audit invariant"),
+        ]
+
+    checker = B.func("checker", [], [
+        B.for_("c", 0, checks, [
+            B.assign("k2", B.mod(B.v("c"), params.fanout)),
+            *check_body,
+        ]),
+    ])
+
+    threads = [B.thread("upd%d" % (i + 1), "updater", [i + 1])
+               for i in range(updaters)]
+    threads.append(B.thread("chk", "checker"))
+    return B.program(
+        params.name,
+        globals_={
+            "bal": [0] * params.fanout,
+            "aud": [0] * params.fanout,
+        },
+        functions=[updater, checker],
+        threads=threads,
+        locks=["acct_lock"],
+    )
+
+
+def describe(params):
+    return ("multi-variable invariant race: %d updater(s) tearing %d "
+            "bal/aud pair(s) across two critical sections, padding %d, "
+            "checker@%d"
+            % (params.threads - 1, params.fanout, params.padding,
+               params.cs_position))
+
+
+FAMILY = FamilySpec(
+    key="mvar",
+    kind="atom",
+    expected_fault="assert",
+    crash_func="checker",
+    title="multi-variable invariant torn across two critical sections",
+    build=build,
+    describe=describe,
+)

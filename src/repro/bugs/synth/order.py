@@ -1,0 +1,111 @@
+"""Family ``order``: order violation / missed signal (publish-before-init).
+
+A producer repeatedly recycles shared entries: it retires the slot
+pointer, raises the slot's ready flag — the bug: the signal is
+published *before* the re-initialization — does some work, and only
+then allocates the fresh entry.  Consumers poll the flags and
+dereference the slot pointer whenever the flag is up, assuming the
+initialization order the producer fails to guarantee.
+
+Parameter mapping: one producer feeds ``threads - 1`` consumers over
+``fanout`` slots; ``loop_depth`` scales both loops, ``padding`` is the
+width of the publish-to-init window, and ``cs_position`` moves a small
+bookkeeping critical section around the consumer's check.
+"""
+
+from ...lang import builder as B
+from .params import FamilySpec, padding_stmts
+
+
+def build(params):
+    rounds = params.loop_depth + 1
+    consumes = 4 + 2 * params.loop_depth
+    consumers = params.threads - 1
+
+    producer = B.func("producer", [], [
+        B.assign("pad", 0),
+        B.for_("r", 0, rounds, [
+            B.for_("i", 0, params.fanout, [
+                # retire the entry and raise the flag under the lock...
+                B.acquire("stats_lock"),
+                B.assign(B.index(B.v("ptrs"), B.v("i")), B.null()),
+                B.assign(B.index(B.v("flags"), B.v("i")), 1),
+                B.assign("published", B.add(B.v("published"), 1)),
+                B.release("stats_lock"),
+                # BUG: ...and only re-initialize after unrelated work
+                *padding_stmts("pad", B.v("i"), params.padding),
+                B.assign(B.index(B.v("ptrs"), B.v("i")),
+                         B.alloc_struct(data=B.add(B.v("r"), 1))),
+            ]),
+        ]),
+    ])
+
+    # bookkeeping once per slot sweep, not per iteration: each lock
+    # operation is a preemption candidate, and flooding the candidate
+    # set with consumer-side sync points would bury the producer-side
+    # window the reproduction actually needs
+    cs = [
+        B.if_(B.eq(B.v("slot"), 0), [
+            B.acquire("stats_lock"),
+            B.assign("seen", B.add(B.v("seen"), 1)),
+            B.release("stats_lock"),
+        ]),
+    ]
+    consume_body = [
+        *padding_stmts("pad2", B.v("j"), 1),
+        # BUG SITE: the flag promised an initialized pointer
+        B.assign("s", B.field(B.index(B.v("ptrs"), B.v("slot")), "data")),
+        B.assign("sink", B.add(B.v("sink"), B.v("s"))),
+    ]
+    if params.cs_position == 1:
+        consume_body = cs + consume_body
+
+    check = [
+        B.if_(B.ne(B.index(B.v("flags"), B.v("slot")), 0), consume_body),
+    ]
+    if params.cs_position == 0:
+        check = cs + check
+    elif params.cs_position == 2:
+        check = check + cs
+    loop_body = [B.assign("slot", B.mod(B.v("j"), params.fanout))] + check
+
+    consumer = B.func("consumer", ["cid"], [
+        B.assign("pad2", 0),
+        B.assign("s", 0),
+        B.for_("j", 0, consumes, loop_body),
+    ])
+
+    threads = [B.thread("prod", "producer")]
+    threads.extend(B.thread("cons%d" % (i + 1), "consumer", [i + 1])
+                   for i in range(consumers))
+    return B.program(
+        params.name,
+        globals_={
+            "flags": [0] * params.fanout,
+            "ptrs": [None] * params.fanout,
+            "published": 0,
+            "seen": 0,
+            "sink": 0,
+        },
+        functions=[producer, consumer],
+        threads=threads,
+        locks=["stats_lock"],
+    )
+
+
+def describe(params):
+    return ("order violation: ready flag published %d statement(s) before "
+            "the init it promises, %d consumer(s) over %d slot(s), cs@%d"
+            % (params.padding, params.threads - 1, params.fanout,
+               params.cs_position))
+
+
+FAMILY = FamilySpec(
+    key="order",
+    kind="race",
+    expected_fault="null-deref",
+    crash_func="consumer",
+    title="order violation / missed signal (publish before init)",
+    build=build,
+    describe=describe,
+)

@@ -1,0 +1,81 @@
+"""Seed-deterministic parameter derivation for the synthetic families.
+
+Every generated scenario is a pure function of ``(family, seed)``: the
+RNG is seeded from a *string* (``random.Random`` hashes str seeds with
+SHA-512, independent of ``PYTHONHASHSEED``), so the same seed yields the
+same :class:`SynthParams` — and therefore a byte-identical
+:class:`~repro.lang.program.Program` — in any process.
+
+The parameter axes mirror the structural diversity the bug-shape
+catalogs call for: thread count, loop depth, shared-variable fan-out,
+padding-work length (the width of the race window), and critical-section
+placement.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """One bug family: its contract plus the parameterized builder."""
+
+    key: str               # short family tag, e.g. "atom"
+    kind: str              # BugScenario.kind ("atom" | "race")
+    expected_fault: str    # fault kind every variant crashes with
+    crash_func: str        # function containing the failing PC
+    title: str             # one-line family description
+    build: Callable        # (SynthParams) -> Program
+    describe: Callable     # (SynthParams) -> per-variant description
+
+
+@dataclass(frozen=True)
+class SynthParams:
+    """One point in a family's parameter space."""
+
+    family: str
+    seed: int
+    #: total thread count, victim(s) + antagonist (2-4)
+    threads: int
+    #: scales the per-thread loop iteration counts
+    loop_depth: int
+    #: number of independent shared slots the threads contend on (1-3)
+    fanout: int
+    #: straight-line thread-local statements inside the race window
+    padding: int
+    #: placement variant of the critical section around the window (0-2)
+    cs_position: int
+
+    @property
+    def name(self):
+        """The deterministic registry name, e.g. ``synth-atom-s17``."""
+        return "synth-%s-s%d" % (self.family, self.seed)
+
+
+def padding_stmts(var, salt, count):
+    """``count`` thread-local straight-line padding statements.
+
+    The one padding recipe every family shares: it widens a race window
+    without touching shared state (locals create no preemption
+    candidates and no CSV accesses), so window width and candidate-set
+    size stay independent parameter axes.
+    """
+    from ...lang import builder as B
+
+    return [B.assign(var, B.mod(B.add(B.mul(B.v(var), 3), salt), 251))
+            for _ in range(count)]
+
+
+def derive_params(family, seed):
+    """The parameters of ``(family, seed)`` — stable across processes."""
+    rng = random.Random("repro-synth/%s/%d" % (family, seed))
+    return SynthParams(
+        family=family,
+        seed=seed,
+        threads=rng.randint(2, 4),
+        loop_depth=rng.randint(2, 5),
+        fanout=rng.randint(1, 3),
+        padding=rng.randint(1, 4),
+        cs_position=rng.randrange(3),
+    )

@@ -70,7 +70,10 @@ class Program:
         for func in functions:
             self.add_function(func)
         self.threads = list(threads)
-        self.locks = set(locks)
+        # declaration-ordered and deduplicated: a set here would make
+        # lock iteration (LockTable layout, pickled Program bytes)
+        # depend on PYTHONHASHSEED, breaking cross-process determinism
+        self.locks = tuple(dict.fromkeys(locks))
         self.inputs = tuple(inputs)
         self._renumber_lines()
 

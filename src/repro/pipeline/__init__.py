@@ -1,6 +1,6 @@
 """The reproduction pipeline: staged sessions, batching, legacy shim."""
 
-from .batch import BatchResult, run_many
+from .batch import BatchResult, run_many, select_scenarios
 from .bundle import ProgramBundle
 from .config import ReproductionConfig
 from .report import (
@@ -33,6 +33,7 @@ __all__ = [
     "reproduce",
     "run_many",
     "run_passing_with_alignment",
+    "select_scenarios",
     "stress_test",
     "verify_passes_on_single_core",
 ]

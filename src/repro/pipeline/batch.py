@@ -30,7 +30,6 @@ from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 
 from ..search.parallel import in_worker, shared_pool
-from .bundle import ProgramBundle
 from .config import ReproductionConfig
 from .report import ReproductionReport
 
@@ -76,29 +75,33 @@ def _run_one(name, config, stress_seed_stop):
     for the process pool; the scenario is re-resolved from the registry
     inside the worker (scenario build callables need not pickle).
     """
-    from ..bugs import get_scenario
     from .session import ReproSession
 
     try:
-        scenario = get_scenario(name)
-        bundle = ProgramBundle(scenario.build())
         seeds = None if stress_seed_stop is None else range(stress_seed_stop)
-        session = ReproSession(bundle, config=config,
-                               input_overrides=scenario.input_overrides,
-                               stress_seeds=seeds,
-                               expected_kind=scenario.expected_fault)
+        session = ReproSession.from_scenario(name, config=config,
+                                             stress_seeds=seeds)
         return name, session.report().to_json(), None
     except Exception as exc:  # noqa: BLE001 — batch isolates per-bug failures
         return name, None, "%s: %s" % (type(exc).__name__, exc)
 
 
-def run_many(scenarios, config=None, workers=None, stress_seed_stop=8000):
+def select_scenarios(tags=(), exclude_tags=()):
+    """Registry scenarios selected by tags (see ``scenarios_by_tag``)."""
+    from ..bugs import scenarios_by_tag
+
+    return scenarios_by_tag(*tuple(tags), exclude=tuple(exclude_tags))
+
+
+def run_many(scenarios=None, config=None, workers=None, stress_seed_stop=8000,
+             tags=None, exclude_tags=()):
     """Reproduce every scenario, optionally on a process pool.
 
     Parameters
     ----------
     scenarios:
         Iterable of registered scenario names or ``BugScenario`` objects.
+        ``None`` selects from the registry by tags instead.
     config:
         Shared :class:`ReproductionConfig` (defaults mirror the paper).
     workers:
@@ -107,7 +110,17 @@ def run_many(scenarios, config=None, workers=None, stress_seed_stop=8000):
     stress_seed_stop:
         Upper bound of the stress-test seed sweep per bug (``None`` for
         the stress default).
+    tags / exclude_tags:
+        Tag filters used when ``scenarios`` is None: every registered
+        scenario carrying all of ``tags`` and none of ``exclude_tags``
+        (e.g. ``tags=("synth", "atom")`` for one generated family, or
+        ``exclude_tags=("synth",)`` for the hand-written suite).
     """
+    if scenarios is None:
+        scenarios = select_scenarios(tags or (), exclude_tags)
+    elif tags is not None or exclude_tags:
+        raise ValueError(
+            "pass either explicit scenarios or tag filters, not both")
     config = (config or ReproductionConfig()).validate()
     # results are keyed by name, so duplicates would run twice only to
     # overwrite each other; keep the first occurrence of each

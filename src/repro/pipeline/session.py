@@ -181,6 +181,29 @@ class ReproSession:
         self.stage_wall_s = {"stress": 0.0, "analyze": 0.0, "diff": 0.0,
                              "search": 0.0}
 
+    @classmethod
+    def from_scenario(cls, scenario, config=None, failure_dump=None,
+                      stress_seeds=None):
+        """A session for a registered scenario (or a name to look up).
+
+        Builds the scenario's program into a fresh
+        :class:`~repro.pipeline.bundle.ProgramBundle` and wires the
+        scenario's declared input overrides and expected fault kind into
+        the session — the one-liner the batch driver, the property
+        harness, and the benchmarks all share.
+        """
+        from ..bugs import get_scenario
+        from .bundle import ProgramBundle
+
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        return cls(ProgramBundle(scenario.build()), config=config,
+                   failure_dump=failure_dump,
+                   input_overrides=scenario.input_overrides,
+                   stress_seeds=stress_seeds
+                   if stress_seeds is not None else scenario.stress_seeds,
+                   expected_kind=scenario.expected_fault)
+
     # -- stage 0: the failure dump ------------------------------------------------
 
     @property

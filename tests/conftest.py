@@ -1,12 +1,28 @@
 """Shared fixtures: common programs, bundles, and dump helpers."""
 
+import os
+
 import pytest
 
-from repro.bugs import get_scenario
+from repro.bugs import all_scenarios, get_scenario, scenarios_by_tag
 from repro.coredump.dump import take_core_dump
 from repro.lang import builder as B
 from repro.pipeline.bundle import ProgramBundle
 from repro.runtime.events import Failure
+
+
+def suite_scenario_names():
+    """Names the registry-wide (heavyweight) suites parameterize over.
+
+    The hand-written paper suite by default; ``REPRO_SUITE=full`` widens
+    the sweep to the whole registry — synthetic scenarios included — for
+    the scheduled full-matrix CI run.  The generated scenarios' own
+    end-to-end coverage lives in ``tests/properties/test_synth_pipeline``
+    (a seeded sample), so the per-PR suites stay fast.
+    """
+    if os.environ.get("REPRO_SUITE", "").lower() == "full":
+        return [s.name for s in all_scenarios()]
+    return [s.name for s in scenarios_by_tag(exclude=("synth",))]
 
 
 def build_nested_program():

@@ -1,0 +1,106 @@
+"""Pipeline-level property harness over the generated scenario suite.
+
+A seeded sample of the registered synthetic scenarios is driven through
+the *full* :class:`ReproSession` — stress to a failure dump, dump
+analysis, diff + prioritization, guided schedule search — under both
+instruction- and block-granular execution, asserting the generator's
+contract end to end:
+
+* the deterministic single-core run passes,
+* some multicore interleaving fails with the declared fault kind inside
+  the declared function,
+* the guided search reproduces the exact failure signature, and
+* both execution granularities produce byte-identical outcomes (same
+  stress seed, same dump JSON, same plan / tries / step ledger).
+
+``REPRO_SYNTH_SAMPLE`` sizes the sample (default 4; CI smoke runs 8,
+the scheduled full run covers the whole suite) and ``REPRO_SYNTH_SEED``
+seeds both the registered suite and the sample choice.
+"""
+
+import os
+
+import pytest
+
+from repro.bugs import get_scenario, scenarios_by_tag, synth
+from repro.coredump.serialize import dump_to_json
+from repro.pipeline import (
+    ProgramBundle,
+    ReproSession,
+    ReproductionConfig,
+    verify_passes_on_single_core,
+)
+
+SAMPLE = int(os.environ.get("REPRO_SYNTH_SAMPLE", "4"))
+SEED = int(os.environ.get("REPRO_SYNTH_SEED", "0"))
+STRESS_SEEDS = range(8000)
+
+
+SAMPLED = synth.sample_names(SAMPLE, SEED)
+
+#: generous try/wall budgets so reproduction never cuts off on a slow
+#: machine; chess (unguided) is excluded — the harness asserts the
+#: *guided* search contract
+_CONFIG_KW = dict(include_chess=False,
+                  chess_max_seconds=10_000.0, chessx_max_seconds=10_000.0,
+                  chessx_max_tries=5000)
+
+_CACHE = {}
+
+
+def pipeline_for(name, block_exec):
+    """Stress + full guided reproduction, cached per (scenario, mode)."""
+    key = (name, block_exec)
+    if key not in _CACHE:
+        session = ReproSession.from_scenario(
+            name,
+            config=ReproductionConfig(block_exec=block_exec, **_CONFIG_KW),
+            stress_seeds=STRESS_SEEDS)
+        session.acquire_failure()
+        outcome = session.search("chessX+dep")
+        _CACHE[key] = (session, outcome)
+    return _CACHE[key]
+
+
+def test_sample_is_seeded_and_sized():
+    assert SAMPLED == synth.sample_names(SAMPLE, SEED)
+    assert len(SAMPLED) == min(SAMPLE, len(scenarios_by_tag("synth")))
+    assert len(set(SAMPLED)) == len(SAMPLED)
+
+
+@pytest.mark.parametrize("name", SAMPLED)
+class TestSynthScenarioContract:
+    def test_single_core_run_passes(self, name):
+        scenario = get_scenario(name)
+        bundle = ProgramBundle(scenario.build())
+        assert verify_passes_on_single_core(bundle,
+                                            scenario.input_overrides)
+
+    def test_multicore_fails_with_declared_fault(self, name):
+        scenario = get_scenario(name)
+        session, _outcome = pipeline_for(name, block_exec=True)
+        failure = session.failure_dump.failure
+        assert failure.kind == scenario.expected_fault
+        assert session.bundle.compiled.func_of(failure.pc) == \
+            scenario.crash_func
+
+    def test_guided_search_reproduces(self, name):
+        session, outcome = pipeline_for(name, block_exec=True)
+        assert outcome.reproduced
+        assert outcome.failure.signature() == \
+            session.failure_dump.failure.signature()
+
+    def test_block_and_instruction_outcomes_identical(self, name):
+        block_session, block_outcome = pipeline_for(name, block_exec=True)
+        instr_session, instr_outcome = pipeline_for(name, block_exec=False)
+        # the stress sweep lands on the same seed with the same dump
+        assert block_session.stress.seed == instr_session.stress.seed
+        assert dump_to_json(block_session.failure_dump) == \
+            dump_to_json(instr_session.failure_dump)
+        # the search produces a byte-identical outcome and step ledger
+        assert block_outcome.plan == instr_outcome.plan
+        assert block_outcome.tries == instr_outcome.tries
+        assert block_outcome.reproduced == instr_outcome.reproduced
+        assert block_outcome.total_steps == instr_outcome.total_steps
+        assert block_outcome.executed_steps == instr_outcome.executed_steps
+        assert block_outcome.skipped_steps == instr_outcome.skipped_steps

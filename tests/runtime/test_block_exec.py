@@ -11,7 +11,7 @@ table is installed.
 
 import pytest
 
-from repro.bugs import all_scenarios, get_scenario
+from repro.bugs import get_scenario
 from repro.coredump.dump import take_core_dump
 from repro.coredump.serialize import dump_to_json
 from repro.pipeline.bundle import ProgramBundle
@@ -21,7 +21,9 @@ from repro.runtime.scheduler import (
     ScriptedScheduler,
 )
 
-ALL_NAMES = [s.name for s in all_scenarios()]
+from tests.conftest import suite_scenario_names
+
+ALL_NAMES = suite_scenario_names()
 MULTICORE_SEEDS = range(25)
 
 _BUNDLES = {}

@@ -17,12 +17,14 @@ deterministic (the aligned passing run), preempting (testruns).
 
 import pytest
 
-from repro.bugs import all_scenarios, get_scenario
+from repro.bugs import get_scenario
 from repro.coredump.serialize import dump_to_json
 from repro.pipeline import ProgramBundle, ReproSession, ReproductionConfig
 from repro.search.preemption import map_candidates_to_block_heads
 
-ALL_NAMES = [s.name for s in all_scenarios()]
+from tests.conftest import suite_scenario_names
+
+ALL_NAMES = suite_scenario_names()
 STRATEGIES = ("chess", "chessX+dep", "chessX+temporal")
 
 #: generous time budgets so both modes cut off on tries, never on wall

@@ -9,10 +9,12 @@ same failure signature, same logical step totals.  Only the physical
 
 import pytest
 
-from repro.bugs import all_scenarios, get_scenario
+from repro.bugs import get_scenario
 from repro.pipeline import ProgramBundle, ReproSession, ReproductionConfig
 
-ALL_NAMES = [s.name for s in all_scenarios()]
+from tests.conftest import suite_scenario_names
+
+ALL_NAMES = suite_scenario_names()
 STRATEGIES = ("chess", "chessX+dep", "chessX+temporal")
 
 #: generous time budget so both modes cut off on tries, never on wall
