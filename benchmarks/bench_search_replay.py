@@ -617,3 +617,147 @@ def test_synth_suite_table(synth_outcomes):
     _write_bench_doc(doc)
     print_table("Search: generated scenarios (seeded sample, "
                 "REPRO_SYNTH_SEED=%d)" % SYNTH_SEED, headers, rows)
+
+
+# ---------------------------------------------------------------------------
+# the crash knowledge base (cold vs warm-started search)
+# ---------------------------------------------------------------------------
+
+KB_STRATEGY = "chessX+dep"
+SYNTH_PER_FAMILY = int(os.environ.get("REPRO_SYNTH_PER_FAMILY", "5"))
+
+
+def _synth_family_seed(name):
+    """``synth-<family>-s<seed>`` -> (family, seed)."""
+    stem = name[len("synth-"):]
+    family, _, seed = stem.rpartition("-s")
+    return family, int(seed)
+
+
+def _timed_search(session, strategy):
+    start = time.perf_counter()
+    outcome = session.search(strategy)
+    return outcome, time.perf_counter() - start
+
+
+@pytest.fixture(scope="session")
+def kb_warmstart(tmp_path_factory):
+    """Per sampled synth scenario: cold, exact-warm, and near-warm runs.
+
+    *Exact* replays a re-occurrence: the same scenario against a KB the
+    cold run populated (same program fingerprint -> stored plan first).
+    *Near* simulates a new family member: the KB holds only a *different
+    registered seed* of the same family, so retrieval must fall through
+    to the nearest-neighbor layer.
+    """
+    from repro.bugs import synth
+    from repro.kb import KnowledgeBase
+    from repro.pipeline import ReproSession
+
+    if SYNTH_SAMPLE <= 0:
+        pytest.skip("REPRO_SYNTH_SAMPLE=0 disables the kb section")
+    root = tmp_path_factory.mktemp("kb-bench")
+    results = {}
+    for name in synth.sample_names(SYNTH_SAMPLE, SYNTH_SEED):
+        cold = ReproSession.from_scenario(
+            name, config=ReproductionConfig(**_CONFIG_KW),
+            stress_seeds=range(8000))
+        dump = cold.acquire_failure()
+        cold_outcome, cold_wall = _timed_search(cold, KB_STRATEGY)
+
+        # exact: warm-start a fresh session on the identical submission
+        exact_kb = KnowledgeBase(root / ("%s-exact.json" % name))
+        cold.record_to_kb(kb=exact_kb)
+        warm = ReproSession.from_scenario(
+            name, config=ReproductionConfig(kb_path=str(exact_kb.path),
+                                            **_CONFIG_KW),
+            failure_dump=dump)
+        warm_outcome, warm_wall = _timed_search(warm, KB_STRATEGY)
+
+        # near: the KB knows only a sibling seed of the same family
+        family, seed = _synth_family_seed(name)
+        neighbor = "synth-%s-s%d" % (family, (seed + 1) % SYNTH_PER_FAMILY)
+        neighbor_session = ReproSession.from_scenario(
+            neighbor, config=ReproductionConfig(**_CONFIG_KW),
+            stress_seeds=range(8000))
+        neighbor_session.acquire_failure()
+        neighbor_session.search(KB_STRATEGY)
+        near_kb = KnowledgeBase(root / ("%s-near.json" % name))
+        neighbor_session.record_to_kb(kb=near_kb)
+        near = ReproSession.from_scenario(
+            name, config=ReproductionConfig(kb_path=str(near_kb.path),
+                                            **_CONFIG_KW),
+            failure_dump=dump)
+        near_outcome, near_wall = _timed_search(near, KB_STRATEGY)
+
+        results[name] = {
+            "cold": (cold_outcome, cold_wall),
+            "warm": (warm_outcome, warm_wall),
+            "near": (near_outcome, near_wall),
+            "warm_layer": warm.kb_retrieval_layers.get(KB_STRATEGY, "miss"),
+            "near_layer": near.kb_retrieval_layers.get(KB_STRATEGY, "miss"),
+            "neighbor": neighbor,
+        }
+    return results
+
+
+def test_kb_table(kb_warmstart):
+    """Record cold vs warm tries/steps per sampled synth scenario."""
+    headers = ["bug", "mode", "layer", "tries", "total steps", "time"]
+    rows = []
+    doc = _load_bench_doc()
+    for name, entry in kb_warmstart.items():
+        payload = {"strategy": KB_STRATEGY, "neighbor": entry["neighbor"]}
+        for mode in ("cold", "warm", "near"):
+            outcome, wall = entry[mode]
+            layer = "-" if mode == "cold" else entry["%s_layer" % mode]
+            rows.append([name, mode, layer, outcome.tries,
+                         outcome.total_steps, "%.3fs" % wall])
+            payload[mode] = {
+                "tries": outcome.tries,
+                "total_steps": outcome.total_steps,
+                "executed_steps": outcome.executed_steps,
+                "reproduced": outcome.reproduced,
+                "wall_s": round(wall, 4),
+                "layer": layer,
+            }
+        doc.setdefault("kb", {})[name] = payload
+    _write_bench_doc(doc)
+    print_table("Knowledge base: cold vs warm-started %s (exact + "
+                "near-neighbor)" % KB_STRATEGY, headers, rows)
+
+
+def test_kb_exact_reoccurrence_acceptance(kb_warmstart):
+    """Acceptance bar: an exact re-occurrence replays the stored plan.
+
+    The warm session must hit the exact retrieval layer and reproduce on
+    its *first* try with the cold run's winning plan — the near-O(1)
+    confirm-replay the KB exists for.
+    """
+    from repro.search.base import plan_fingerprint
+
+    for name, entry in kb_warmstart.items():
+        cold_outcome, _ = entry["cold"]
+        warm_outcome, _ = entry["warm"]
+        assert entry["warm_layer"] == "exact", name
+        assert warm_outcome.reproduced, name
+        assert warm_outcome.tries == 1, (name, warm_outcome.tries)
+        assert plan_fingerprint(warm_outcome.plan) \
+            == plan_fingerprint(cold_outcome.plan), name
+
+
+def test_kb_near_neighbor_acceptance(kb_warmstart):
+    """Acceptance bar: near-neighbor warm start strictly reduces tries
+    on at least half of the seeded synth sample (and never regresses
+    reproduction)."""
+    reduced = 0
+    for name, entry in kb_warmstart.items():
+        cold_outcome, _ = entry["cold"]
+        near_outcome, _ = entry["near"]
+        assert near_outcome.reproduced, name
+        if near_outcome.tries < cold_outcome.tries:
+            reduced += 1
+    assert reduced * 2 >= len(kb_warmstart), \
+        {name: (entry["cold"][0].tries, entry["near"][0].tries,
+                entry["near_layer"])
+         for name, entry in kb_warmstart.items()}

@@ -44,12 +44,13 @@ Layers (bottom-up): ``lang`` (mini concurrent language + flat IR),
 reference-path diffing), ``indexing`` (execution indexing: online,
 Algorithm 1 reverse engineering, alignment), ``slicing`` (dynamic
 slicing, CSV prioritization), ``search`` (CHESS, Algorithm 2, strategy
-registry), ``pipeline`` (sessions, batching, reports), ``bugs`` (the
-evaluation suite), ``registry`` (component registries).
+registry), ``kb`` (crash knowledge base: signatures, retrieval,
+warm-started search), ``pipeline`` (sessions, batching, reports),
+``bugs`` (the evaluation suite), ``registry`` (component registries).
 """
 
-from . import analysis, bugs, coredump, indexing, lang, pipeline, registry, \
-    runtime, search, slicing
+from . import analysis, bugs, coredump, indexing, kb, lang, pipeline, \
+    registry, runtime, search, slicing
 from .pipeline import (
     ProgramBundle,
     ReproSession,
@@ -67,6 +68,7 @@ __all__ = [
     "bugs",
     "coredump",
     "indexing",
+    "kb",
     "lang",
     "pipeline",
     "registry",

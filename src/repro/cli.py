@@ -1,0 +1,227 @@
+"""``python -m repro`` — reproduction and KB population outside pytest.
+
+Subcommands
+-----------
+``run``
+    One full reproduction session for a registered scenario: stress for
+    the dump, analyze, diff, search every configured strategy.  With
+    ``--kb`` the session retrieves warm-start plans before searching and
+    records its winning plans afterwards; ``--report`` writes the
+    versioned JSON report.
+``list``
+    Registered scenarios, optionally filtered by tags.
+``batch``
+    :func:`~repro.pipeline.batch.run_many` over a scenario selection
+    (the full registry by default), with optional KB population.
+``kb``
+    Stats of (and maintenance on) a knowledge-base index.
+``verify-warm``
+    The warm-start contract check the nightly CI runs: reproduce a
+    seeded synth sample cold and warm against a populated index and
+    fail unless every warm search needs at most as many tries as cold
+    — with exact re-occurrences reproducing on the first try.
+"""
+
+import argparse
+import json
+import sys
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Multicore-dump concurrency-bug reproduction "
+                    "(ASPLOS 2010) — run sessions and manage the crash "
+                    "knowledge base.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="reproduce one registered scenario")
+    run.add_argument("scenario", help="registered scenario name (see list)")
+    run.add_argument("--report", metavar="PATH",
+                     help="write the JSON report here")
+    run.add_argument("--kb", metavar="PATH",
+                     help="knowledge-base index to warm-start from and "
+                          "record into")
+    run.add_argument("--strategy", action="append", default=None,
+                     metavar="NAME",
+                     help="search strategy (repeatable; default: all "
+                          "configured strategies)")
+    run.add_argument("--workers", type=int, default=1,
+                     help="parallel search workers (default 1: serial)")
+    run.add_argument("--seed-stop", type=int, default=8000, metavar="N",
+                     help="stress-test seed sweep bound (default 8000)")
+    run.add_argument("--no-warmstart", action="store_true",
+                     help="with --kb: record but do not warm-start")
+    run.add_argument("--no-record", action="store_true",
+                     help="with --kb: warm-start but do not record")
+
+    lst = sub.add_parser("list", help="list registered scenarios")
+    lst.add_argument("--tags", nargs="*", default=(),
+                     help="keep scenarios carrying all of these tags")
+    lst.add_argument("--exclude-tags", nargs="*", default=(),
+                     help="drop scenarios carrying any of these tags")
+
+    batch = sub.add_parser("batch",
+                           help="run_many over a scenario selection")
+    batch.add_argument("--names", nargs="*", default=None,
+                       help="explicit scenario names (default: by tags)")
+    batch.add_argument("--tags", nargs="*", default=(),
+                       help="tag filter when --names is not given")
+    batch.add_argument("--exclude-tags", nargs="*", default=(),
+                       help="tag exclusion when --names is not given")
+    batch.add_argument("--kb", metavar="PATH",
+                       help="record every completed report into this index")
+    batch.add_argument("--workers", type=int, default=1)
+    batch.add_argument("--seed-stop", type=int, default=8000, metavar="N")
+
+    kb = sub.add_parser("kb", help="knowledge-base index stats/maintenance")
+    kb.add_argument("--kb", metavar="PATH", required=True)
+    kb.add_argument("--compact", action="store_true",
+                    help="dedup re-occurrences before printing stats")
+
+    verify = sub.add_parser(
+        "verify-warm",
+        help="assert warm tries <= cold tries against a populated index")
+    verify.add_argument("--kb", metavar="PATH", required=True)
+    verify.add_argument("--names", nargs="*", default=None,
+                        help="scenarios to check (default: synth sample)")
+    verify.add_argument("--sample", type=int, default=4, metavar="N",
+                        help="synth sample size when --names is not given")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="synth sample seed (default 0)")
+    verify.add_argument("--strategy", default="chessX+dep",
+                        help="strategy to compare (default chessX+dep)")
+    verify.add_argument("--seed-stop", type=int, default=8000, metavar="N")
+    return parser
+
+
+def _session_config(kb_path=None, warmstart=True, record=True, workers=1):
+    from .pipeline import ReproductionConfig
+
+    return ReproductionConfig(kb_path=kb_path, kb_warmstart=warmstart,
+                              kb_record=record, search_workers=max(1, workers))
+
+
+def _cmd_run(args):
+    from .pipeline import ReproSession
+
+    config = _session_config(kb_path=args.kb,
+                             warmstart=not args.no_warmstart,
+                             record=not args.no_record,
+                             workers=args.workers)
+    session = ReproSession.from_scenario(
+        args.scenario, config=config,
+        stress_seeds=range(args.seed_stop) if args.seed_stop else None)
+    strategies = args.strategy or config.strategy_names()
+    for strategy in strategies:
+        outcome = session.search(strategy)
+        warm = session.kb_warm_counts.get(outcome.algorithm, 0) \
+            or session.kb_warm_counts.get(strategy, 0)
+        layer = session.kb_retrieval_layers.get(strategy, "off")
+        print("%s  [kb: %s, %d warm plan(s)]"
+              % (outcome.describe(), layer, warm))
+    if args.report:
+        report = session.report()
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json(indent=2))
+        print("report written to %s" % args.report)
+    if args.kb and not args.no_record:
+        added = session.record_to_kb()
+        print("knowledge base %s: %d new case(s)" % (args.kb, added))
+    reproduced = all(session.search(s).reproduced for s in strategies)
+    return 0 if reproduced else 1
+
+
+def _cmd_list(args):
+    from .bugs import scenarios_by_tag
+
+    scenarios = scenarios_by_tag(*tuple(args.tags),
+                                 exclude=tuple(args.exclude_tags))
+    for scenario in scenarios:
+        print("%-24s %-12s %s" % (scenario.name, scenario.expected_fault,
+                                  ",".join(sorted(scenario.tags))))
+    return 0
+
+
+def _cmd_batch(args):
+    from .pipeline import run_many
+
+    config = _session_config(kb_path=args.kb, workers=1)
+    batch = run_many(scenarios=args.names, config=config,
+                     workers=args.workers,
+                     stress_seed_stop=args.seed_stop,
+                     tags=tuple(args.tags) if args.names is None else None,
+                     exclude_tags=tuple(args.exclude_tags)
+                     if args.names is None else ())
+    for name, report in batch:
+        verdicts = ", ".join(
+            "%s=%s" % (s, "%d tries" % o.tries if o.reproduced else "MISS")
+            for s, o in report.searches.items())
+        dedup = " (deduped from %s)" % batch.deduped[name] \
+            if name in batch.deduped else ""
+        print("%-24s %s%s" % (name, verdicts, dedup))
+    for name, error in batch.errors.items():
+        print("%-24s ERROR: %s" % (name, error))
+    print("%d scenario(s), %d error(s), %.1fs"
+          % (len(batch.reports), len(batch.errors), batch.wall_seconds))
+    return 1 if batch.errors else 0
+
+
+def _cmd_kb(args):
+    from .kb import KnowledgeBase
+
+    kb = KnowledgeBase(args.kb)
+    if args.compact:
+        kept, dropped = kb.compact()
+        print("compacted: kept %d case(s), dropped %d" % (kept, dropped))
+    print(json.dumps(kb.stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_verify_warm(args):
+    from .bugs import synth
+    from .pipeline import ReproSession
+
+    names = args.names
+    if not names:
+        names = synth.sample_names(args.sample, seed=args.seed)
+    seeds = range(args.seed_stop) if args.seed_stop else None
+    failures = []
+    for name in names:
+        cold_session = ReproSession.from_scenario(
+            name, config=_session_config(), stress_seeds=seeds)
+        dump = cold_session.acquire_failure()
+        cold = cold_session.search(args.strategy)
+        warm_session = ReproSession.from_scenario(
+            name, config=_session_config(kb_path=args.kb, record=False),
+            failure_dump=dump)
+        warm = warm_session.search(args.strategy)
+        layer = warm_session.kb_retrieval_layers.get(args.strategy, "miss")
+        ok = warm.tries <= cold.tries \
+            and (layer != "exact" or warm.tries == 1)
+        print("%-24s cold=%-6d warm=%-6d layer=%-5s %s"
+              % (name, cold.tries, warm.tries, layer,
+                 "ok" if ok else "REGRESSION"))
+        if not ok:
+            failures.append(name)
+    if failures:
+        print("warm-start regression on: %s" % ", ".join(failures))
+        return 1
+    print("warm <= cold held on all %d scenario(s)" % len(names))
+    return 0
+
+
+def main(argv=None):
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "list": _cmd_list,
+        "batch": _cmd_batch,
+        "kb": _cmd_kb,
+        "verify-warm": _cmd_verify_warm,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

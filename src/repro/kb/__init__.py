@@ -1,0 +1,92 @@
+"""The crash knowledge base: index past reproductions, warm-start new ones.
+
+The paper reconstructs every failure from scratch; at fleet scale most
+incoming dumps are *re-occurrences* of already-reproduced bugs.  This
+package closes that loop:
+
+* :mod:`~repro.kb.signature` — canonical crash signatures and program
+  fingerprints (the retrieval keys);
+* :mod:`~repro.kb.store` — the versioned, corruption-tolerant on-disk
+  JSON index;
+* :mod:`~repro.kb.retriever` — layered lookup (exact re-occurrence,
+  then nearest-neighbor over signature features);
+* :mod:`~repro.kb.warmstart` — retrieved plans mapped onto the current
+  session's candidates and spliced ahead of the strategy ranking.
+
+:class:`KnowledgeBase` is the facade the pipeline talks to: one loaded
+index per session, retrieval + recording + maintenance in one object.
+"""
+
+import time
+
+from .retriever import DEFAULT_LIMIT, KBRetriever, Retrieval
+from .signature import (CrashSignature, extract_signature,
+                        program_fingerprint, signature_of_report)
+from .store import KB_SCHEMA, KBCase, KBStore, KBStoreWarning
+from .warmstart import (DEFAULT_MAX_WARM_PLANS, map_plan, splice_warm_prefix,
+                        warm_worklist)
+
+__all__ = [
+    "KB_SCHEMA", "KBCase", "KBStore", "KBStoreWarning", "KBRetriever",
+    "Retrieval", "CrashSignature", "KnowledgeBase", "extract_signature",
+    "program_fingerprint", "signature_of_report", "map_plan",
+    "warm_worklist", "splice_warm_prefix", "DEFAULT_MAX_WARM_PLANS",
+]
+
+
+class KnowledgeBase:
+    """One knowledge-base index, loaded once and queried many times."""
+
+    def __init__(self, path, limit=DEFAULT_LIMIT):
+        self.store = KBStore(path)
+        self.limit = limit
+        self._cases = None
+
+    @property
+    def path(self):
+        return self.store.path
+
+    def cases(self):
+        """All decodable cases, loaded lazily and cached for the session."""
+        if self._cases is None:
+            self._cases = self.store.load()
+        return self._cases
+
+    def invalidate(self):
+        """Drop the cached case list (next query re-reads the index)."""
+        self._cases = None
+
+    def retrieve(self, fingerprint, signature, strategy=None):
+        """Layered lookup; see :class:`~repro.kb.retriever.KBRetriever`."""
+        retriever = KBRetriever(self.cases(), limit=self.limit)
+        return retriever.lookup(fingerprint, signature, strategy=strategy)
+
+    def record(self, cases, now=None):
+        """Append cases (stamped ``saved_at``); returns how many were new."""
+        now = time.time() if now is None else now
+        cases = list(cases)
+        for case in cases:
+            if not case.saved_at:
+                case.saved_at = now
+        added = self.store.append(cases)
+        if added:
+            self.invalidate()
+        return added
+
+    def compact(self):
+        """Dedup re-occurrences on disk; returns ``(kept, dropped)``."""
+        result = self.store.compact()
+        self.invalidate()
+        return result
+
+    def stats(self):
+        """Summary counters for CLI / CI reporting."""
+        cases = self.cases()
+        return {
+            "path": str(self.path),
+            "cases": len(cases),
+            "programs": len({c.fingerprint for c in cases}),
+            "bugs": len({c.bug for c in cases}),
+            "strategies": sorted({c.strategy for c in cases}),
+            "fault_kinds": sorted({c.signature.fault_kind for c in cases}),
+        }

@@ -1,0 +1,128 @@
+"""Layered lookup over the knowledge base.
+
+Retrieval runs in two layers, mirroring crash-triage practice:
+
+1. **Exact** — the incoming dump's program fingerprint *and* failure
+   signature (``Failure.signature()``) match a stored case.  This is a
+   re-occurrence: the stored winning plan replays directly, making the
+   common fleet case an O(1) confirm-replay instead of a search.
+2. **Near** — no exact hit; stored cases of the same fault kind are
+   scored against the incoming crash signature (crash function, shared
+   variables, frame-shape overlap, thread count).  Their plans seed the
+   warm-start prefix as *hypotheses*, not answers — the search still
+   confirms each one before declaring reproduction.
+
+Everything is deterministic: candidate ordering is fully specified by
+``(score, tries, bug, strategy, plan fingerprint)`` so a warm-started
+search is reproducible run to run.
+"""
+
+from dataclasses import dataclass, field
+
+from ..search.base import plan_fingerprint
+
+#: minimum near-match score for a stored case to enter the warm prefix
+NEAR_SCORE_THRESHOLD = 4.0
+
+#: default cap on retrieved cases per lookup
+DEFAULT_LIMIT = 8
+
+
+@dataclass
+class Retrieval:
+    """Result of one layered lookup."""
+
+    #: "exact", "near", or "miss"
+    layer: str
+    #: retrieved cases, best first (empty on miss)
+    cases: list = field(default_factory=list)
+    #: near-layer score per case (parallel to ``cases``; empty on exact)
+    scores: list = field(default_factory=list)
+
+
+def _jaccard(a, b):
+    a, b = set(a), set(b)
+    if not a and not b:
+        return 1.0
+    union = a | b
+    return len(a & b) / len(union) if union else 0.0
+
+
+def _suffix_overlap(a, b):
+    """Shared call-stack suffix length, normalized by the longer stack.
+
+    The crash-side suffix (innermost frames) is what characterizes a
+    failure; outer harness frames differ freely across variants.
+    """
+    if not a or not b:
+        return 1.0 if a == b else 0.0
+    shared = 0
+    for fa, fb in zip(reversed(a), reversed(b)):
+        if fa != fb:
+            break
+        shared += 1
+    return shared / max(len(a), len(b))
+
+
+def near_score(query, stored):
+    """Similarity of two :class:`CrashSignature`\\ s (same fault kind).
+
+    Weighted sum over the paper's triage features: the crashing function
+    dominates, then the critical-shared-variable overlap, the aligned
+    frame shape, and finally thread-count equality.  Max 10.0.
+    """
+    return (4.0 * (query.crash_func == stored.crash_func)
+            + 3.0 * _jaccard(query.shared_vars, stored.shared_vars)
+            + 2.0 * _suffix_overlap(query.frame_shape, stored.frame_shape)
+            + 1.0 * (query.thread_count == stored.thread_count))
+
+
+class KBRetriever:
+    """Layered retrieval over a loaded case list."""
+
+    def __init__(self, cases, limit=DEFAULT_LIMIT,
+                 threshold=NEAR_SCORE_THRESHOLD):
+        self.cases = list(cases)
+        self.limit = limit
+        self.threshold = threshold
+
+    def lookup(self, fingerprint, signature, strategy=None):
+        """Exact layer first, near layer as fallback.
+
+        ``strategy`` restricts hits to cases recorded under that search
+        strategy; plans found by one heuristic remain valid schedules
+        under another, but strategy-matched hits keep the warm prefix
+        aligned with the ranking it precedes.
+        """
+        pool = [c for c in self.cases
+                if strategy is None or c.strategy == strategy]
+        exact = self._exact(pool, fingerprint, signature)
+        if exact:
+            return Retrieval(layer="exact", cases=exact)
+        near, scores = self._near(pool, signature)
+        if near:
+            return Retrieval(layer="near", cases=near, scores=scores)
+        return Retrieval(layer="miss")
+
+    def _exact(self, pool, fingerprint, signature):
+        hits = [c for c in pool
+                if c.fingerprint == fingerprint
+                and c.signature.exact_key() == signature.exact_key()]
+        hits.sort(key=lambda c: (c.tries, c.bug, c.strategy,
+                                 plan_fingerprint(c.plan)))
+        return hits[:self.limit]
+
+    def _near(self, pool, signature):
+        scored = []
+        for case in pool:
+            if case.signature.fault_kind != signature.fault_kind:
+                continue
+            score = near_score(signature, case.signature)
+            if score < self.threshold:
+                continue
+            scored.append((score, case))
+        scored.sort(key=lambda item: (-item[0], item[1].tries, item[1].bug,
+                                      item[1].strategy,
+                                      plan_fingerprint(item[1].plan)))
+        scored = scored[:self.limit]
+        return [case for _s, case in scored], [s for s, _c in scored]

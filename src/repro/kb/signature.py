@@ -1,0 +1,122 @@
+"""Canonical crash signatures and program fingerprints.
+
+A :class:`CrashSignature` is the retrieval key of the knowledge base:
+the stable, program-agnostic shape of one concurrency failure — fault
+kind, crashing function, the failing thread's frame shape, the set of
+critical shared variables the dump diff surfaced, and the thread count.
+Two re-occurrences of the same bug produce equal signatures; two bugs of
+the same *family* (a generated variant, a recompiled service) produce
+*similar* ones, which is what the nearest-neighbor retrieval layer
+scores.
+
+:func:`program_fingerprint` is the exact-dedup companion: a content hash
+of the canonical compiled form of the subject program (flat IR, thread
+table, globals, locks, plus the run's input overrides).  An incoming
+dump whose program fingerprint and failure signature both match a stored
+case is a *re-occurrence* — the stored winning plan replays directly.
+"""
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CrashSignature:
+    """The canonical signature of one crash, extracted from report + dump."""
+
+    #: failure kind (``assert``, ``null-deref``, ...)
+    fault_kind: str
+    #: function containing the failure PC (failing thread's top frame)
+    crash_func: str
+    #: failing thread's call stack as function names, outermost first
+    frame_shape: tuple
+    #: critical-shared-variable reference paths from the dump diff, sorted
+    shared_vars: tuple
+    #: statically declared thread count of the subject program
+    thread_count: int
+    #: the failing PC — with ``fault_kind`` this is the exact
+    #: reproduction criterion (``Failure.signature()``)
+    failure_pc: int
+
+    def exact_key(self):
+        """The reproduction-deciding part (matches ``Failure.signature()``)."""
+        return (self.fault_kind, self.failure_pc)
+
+    def to_doc(self):
+        return {
+            "fault_kind": self.fault_kind,
+            "crash_func": self.crash_func,
+            "frame_shape": list(self.frame_shape),
+            "shared_vars": list(self.shared_vars),
+            "thread_count": self.thread_count,
+            "failure_pc": self.failure_pc,
+        }
+
+    @classmethod
+    def from_doc(cls, doc):
+        return cls(
+            fault_kind=doc["fault_kind"],
+            crash_func=doc["crash_func"],
+            frame_shape=tuple(doc["frame_shape"]),
+            shared_vars=tuple(doc["shared_vars"]),
+            thread_count=doc["thread_count"],
+            failure_pc=doc["failure_pc"],
+        )
+
+
+def extract_signature(failure, dump, csv_paths, thread_count):
+    """Signature from the raw session artifacts.
+
+    ``failure`` is the :class:`~repro.runtime.events.Failure`, ``dump``
+    the failure :class:`~repro.coredump.dump.CoreDump` (used for the
+    failing thread's frame shape), ``csv_paths`` the dump-diff CSV
+    reference paths, and ``thread_count`` the program's thread count.
+    """
+    frames = ()
+    crash_func = ""
+    if dump is not None and failure.thread in dump.threads:
+        thread_dump = dump.thread_dump(failure.thread)
+        frames = tuple(f.func for f in thread_dump.frames)
+        if frames:
+            crash_func = frames[-1]
+    return CrashSignature(
+        fault_kind=failure.kind,
+        crash_func=crash_func,
+        frame_shape=frames,
+        shared_vars=tuple(sorted(set(csv_paths))),
+        thread_count=thread_count,
+        failure_pc=failure.pc,
+    )
+
+
+def signature_of_report(report, dump):
+    """Signature of a completed :class:`ReproductionReport` + its dump."""
+    return extract_signature(report.failure, dump, report.csv_paths,
+                             report.thread_count)
+
+
+def program_fingerprint(program, compiled=None, input_overrides=None):
+    """Content hash identifying a subject program (+ its run input).
+
+    Built from the canonical compiled form — the full repr of every flat
+    IR instruction, the thread table, global initializers, lock and
+    input declarations — so it is stable across processes and immune to
+    ``PYTHONHASHSEED`` (all the underlying containers iterate in
+    declaration order).  ``compiled`` may be passed when the caller
+    already holds the lowered program; otherwise the program is lowered
+    here.
+    """
+    if compiled is None:
+        from ..lang.lower import lower_program
+        compiled = lower_program(program)
+    parts = ["program %s" % program.name]
+    parts.extend("thread %s -> %s(%r)" % (t.name, t.func, t.args)
+                 for t in program.threads)
+    parts.extend("global %s = %r" % item for item in program.globals.items())
+    parts.append("locks %r" % (program.locks,))
+    parts.append("inputs %r" % (program.inputs,))
+    parts.extend(repr(instr) for instr in compiled.instrs)
+    if input_overrides:
+        parts.append("overrides %r" % (sorted(input_overrides.items()),))
+    digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+    return digest.hexdigest()

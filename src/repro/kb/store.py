@@ -1,0 +1,281 @@
+"""The on-disk crash knowledge base index.
+
+One :class:`KBStore` owns a single versioned JSON document
+(``repro.kb/1``) holding every recorded :class:`KBCase`.  The store is
+built for fleet-style concurrent writers:
+
+* **append** is read-modify-write behind a best-effort lock file, and
+  the final write is an atomic ``os.replace`` of a temp file in the same
+  directory — readers never observe a torn index, and two
+  :func:`~repro.pipeline.batch.run_many` workers appending concurrently
+  never clobber each other's cases;
+* **load** is corruption-tolerant: a missing, truncated, or garbage
+  index (or one written by an incompatible schema) degrades to a cold
+  start with a warning instead of failing the reproduction that wanted
+  a warm start, and an undecodable individual case is skipped, keeping
+  the rest of the index usable;
+* **compact** dedups the index per ``(fingerprint, failure signature,
+  strategy)``, keeping the best (fewest-tries, then newest) case, so a
+  long-lived index does not grow with every re-occurrence it absorbs.
+"""
+
+import json
+import os
+import time
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..search.base import plan_fingerprint
+from ..search.preemption import PlannedPreemption
+from .signature import CrashSignature
+
+#: Version tag of the KB index schema.
+KB_SCHEMA = "repro.kb/1"
+
+
+@dataclass
+class KBCase:
+    """One completed reproduction, indexed for retrieval."""
+
+    #: canonical program fingerprint (exact-dedup / exact-retrieval key)
+    fingerprint: str
+    signature: CrashSignature
+    #: scenario / bug name the case came from (informational)
+    bug: str
+    #: search strategy that produced the winning plan
+    strategy: str
+    tries: int
+    total_steps: int
+    #: the winning preemption plan
+    plan: tuple
+    #: unix timestamp of recording (compaction tie-breaker)
+    saved_at: float = 0.0
+
+    def identity(self):
+        """Append-dedup key: one entry per (program, crash, strategy, plan)."""
+        return (self.fingerprint, self.signature.exact_key(), self.strategy,
+                plan_fingerprint(self.plan))
+
+    def compaction_key(self):
+        """Cases sharing this key are re-occurrences; compaction keeps one."""
+        return (self.fingerprint, self.signature.exact_key(), self.strategy)
+
+    def to_doc(self):
+        return {
+            "fingerprint": self.fingerprint,
+            "signature": self.signature.to_doc(),
+            "bug": self.bug,
+            "strategy": self.strategy,
+            "tries": self.tries,
+            "total_steps": self.total_steps,
+            "plan": [{"thread": p.thread, "kind": p.kind, "lock": p.lock,
+                      "occurrence": p.occurrence, "switch_to": p.switch_to}
+                     for p in self.plan],
+            "saved_at": self.saved_at,
+        }
+
+    @classmethod
+    def from_doc(cls, doc):
+        return cls(
+            fingerprint=doc["fingerprint"],
+            signature=CrashSignature.from_doc(doc["signature"]),
+            bug=doc["bug"],
+            strategy=doc["strategy"],
+            tries=doc["tries"],
+            total_steps=doc["total_steps"],
+            plan=tuple(PlannedPreemption(
+                thread=p["thread"], kind=p["kind"], lock=p["lock"],
+                occurrence=p["occurrence"], switch_to=p["switch_to"])
+                for p in doc["plan"]),
+            saved_at=doc.get("saved_at", 0.0),
+        )
+
+
+class KBStoreWarning(UserWarning):
+    """A knowledge-base index degraded (corruption, contention, ...)."""
+
+
+class KBStore:
+    """The versioned on-disk JSON index of knowledge-base cases."""
+
+    #: a lock file older than this is a crashed writer's leftover —
+    #: real holds last milliseconds
+    STALE_LOCK_S = 30.0
+
+    def __init__(self, path, lock_timeout=10.0):
+        self.path = Path(path)
+        self.lock_timeout = lock_timeout
+
+    # -- reading ---------------------------------------------------------------
+
+    def load(self):
+        """Every decodable case on disk; cold start ([]) on any corruption."""
+        doc = self._load_doc()
+        cases = []
+        for case_doc in doc.get("cases", []):
+            try:
+                cases.append(KBCase.from_doc(case_doc))
+            except (KeyError, TypeError, ValueError) as exc:
+                warnings.warn(
+                    "skipping undecodable KB case in %s: %s" % (self.path, exc),
+                    KBStoreWarning, stacklevel=2)
+        return cases
+
+    def _load_doc(self):
+        if not self.path.exists():
+            return {"schema": KB_SCHEMA, "cases": []}
+        try:
+            doc = json.loads(self.path.read_text(encoding="utf-8"))
+        except (ValueError, OSError) as exc:
+            warnings.warn(
+                "KB index %s is unreadable (%s); starting cold"
+                % (self.path, exc), KBStoreWarning, stacklevel=3)
+            return {"schema": KB_SCHEMA, "cases": []}
+        if not isinstance(doc, dict) or doc.get("schema") != KB_SCHEMA:
+            warnings.warn(
+                "KB index %s has unsupported schema %r (this build reads %s); "
+                "starting cold"
+                % (self.path, doc.get("schema") if isinstance(doc, dict)
+                   else type(doc).__name__, KB_SCHEMA),
+                KBStoreWarning, stacklevel=3)
+            return {"schema": KB_SCHEMA, "cases": []}
+        if not isinstance(doc.get("cases"), list):
+            warnings.warn(
+                "KB index %s has no case list; starting cold" % self.path,
+                KBStoreWarning, stacklevel=3)
+            return {"schema": KB_SCHEMA, "cases": []}
+        return doc
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, cases):
+        """Append new cases (read-modify-write, atomic replace).
+
+        Cases whose :meth:`KBCase.identity` is already indexed are
+        skipped, so re-recording a re-occurrence is idempotent.  Returns
+        the number of cases actually added.
+        """
+        cases = list(cases)
+        if not cases:
+            return 0
+        with self._locked():
+            existing = self.load()
+            known = {case.identity() for case in existing}
+            added = []
+            for case in cases:
+                if case.identity() in known:
+                    continue
+                known.add(case.identity())
+                added.append(case)
+            if added:
+                self._write(existing + added)
+        return len(added)
+
+    def compact(self):
+        """Dedup re-occurrences; returns ``(kept, dropped)`` counts.
+
+        Per :meth:`KBCase.compaction_key` the best case survives: fewest
+        tries, then the most recently saved, then stable input order —
+        retrieval over a compacted index returns the same best cases as
+        over the full one.
+        """
+        with self._locked():
+            cases = self.load()
+            best = {}
+            for position, case in enumerate(cases):
+                key = case.compaction_key()
+                incumbent = best.get(key)
+                if incumbent is None or \
+                        (case.tries, -case.saved_at, position) < \
+                        (incumbent[1].tries, -incumbent[1].saved_at,
+                         incumbent[0]):
+                    best[key] = (position, case)
+            kept = [case for _pos, case in
+                    sorted(best.values(), key=lambda item: item[0])]
+            self._write(kept)
+        return len(kept), len(cases) - len(kept)
+
+    def _write(self, cases):
+        """Atomically replace the index with ``cases``."""
+        doc = {"schema": KB_SCHEMA,
+               "cases": [case.to_doc() for case in cases]}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(
+            ".%s.tmp.%d" % (self.path.name, os.getpid()))
+        tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        os.replace(tmp, self.path)
+
+    # -- the best-effort lock file ---------------------------------------------
+
+    def _lock_path(self):
+        return self.path.with_name(self.path.name + ".lock")
+
+    def _locked(self):
+        return _FileLock(self._lock_path(), self.lock_timeout,
+                         stale_after=max(self.STALE_LOCK_S,
+                                         self.lock_timeout))
+
+
+class _FileLock:
+    """``O_EXCL`` lock file with stale-lock stealing and a soft timeout.
+
+    On timeout the writer proceeds *without* the lock, with a warning —
+    the atomic replace still guarantees a valid (if possibly slightly
+    stale) index, which beats failing the reproduction pipeline over a
+    dead writer's leftover lock.
+    """
+
+    POLL_S = 0.02
+
+    def __init__(self, path, timeout, stale_after=30.0):
+        self.path = Path(path)
+        self.timeout = timeout
+        self.stale_after = stale_after
+        self._held = False
+
+    def __enter__(self):
+        deadline = time.monotonic() + self.timeout
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if self._steal_if_stale():
+                    continue
+                if time.monotonic() >= deadline:
+                    warnings.warn(
+                        "timed out waiting for KB lock %s; appending without "
+                        "it (concurrent update may be lost)" % self.path,
+                        KBStoreWarning, stacklevel=3)
+                    return self
+                time.sleep(self.POLL_S)
+                continue
+            os.write(fd, str(os.getpid()).encode("ascii"))
+            os.close(fd)
+            self._held = True
+            return self
+
+    def _steal_if_stale(self):
+        """Remove a crashed writer's leftover lock (older than stale_after)."""
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return True  # vanished: retry the open immediately
+        if age <= self.stale_after:
+            return False
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+        return True
+
+    def __exit__(self, *exc_info):
+        if self._held:
+            try:
+                self.path.unlink()
+            except OSError:  # pragma: no cover - already stolen/cleaned
+                pass
+            self._held = False
+        return False

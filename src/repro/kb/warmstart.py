@@ -1,0 +1,119 @@
+"""Turning retrieved cases into a warm-start worklist prefix.
+
+Stored winning plans were recorded against a *previous* session's
+passing-run candidates; before they can drive a testrun here they must
+be mapped onto the current session's candidate set:
+
+* **strict** mapping (exact-layer cases) requires every planned
+  preemption's ``(thread, kind, lock, occurrence)`` key to exist among
+  the current candidates — a true re-occurrence satisfies this by
+  construction because passing-run enumeration is deterministic;
+* **relaxed** mapping (near-layer cases) additionally tries matching on
+  ``(thread, kind, lock)`` alone, adopting the current candidate whose
+  occurrence is closest to the stored one — a generated variant of the
+  same bug family usually shifts loop trip counts, not lock structure.
+
+Mapped plans are deduped by :func:`plan_fingerprint`, capped, and
+spliced *ahead* of the strategy's own ranking by replacing the search's
+``plans`` generator.  The splice is outcome-transparent: plans the
+strategy would enumerate anyway are yielded once (prefix position wins),
+and when the prefix is empty the original generator runs untouched — so
+a disabled, empty, or all-miss KB leaves ``SearchOutcome`` byte-identical
+to a cold search.
+"""
+
+from ..search.base import plan_fingerprint
+from ..search.preemption import PlannedPreemption
+
+#: default cap on warm plans spliced ahead of the ranking
+DEFAULT_MAX_WARM_PLANS = 16
+
+
+def map_plan(plan, candidates, thread_names, relax_occurrence=False):
+    """Map a stored plan onto the current candidate set, or ``None``.
+
+    Returns the re-keyed plan (a list of :class:`PlannedPreemption`
+    bound to current candidates) or ``None`` when any member cannot be
+    mapped — an unmappable plan is simply not a hypothesis for *this*
+    program, never an error.
+    """
+    thread_names = set(thread_names)
+    by_key = {c.key(): c for c in candidates}
+    by_site = {}
+    for c in candidates:
+        by_site.setdefault((c.thread, c.kind, c.lock), []).append(c)
+    mapped = []
+    used_keys = set()
+    for stored in plan:
+        if stored.switch_to is not None and stored.switch_to not in thread_names:
+            return None
+        candidate = by_key.get(stored.key())
+        if candidate is None and relax_occurrence:
+            site = by_site.get((stored.thread, stored.kind, stored.lock), [])
+            free = [c for c in site if c.key() not in used_keys]
+            if free:
+                candidate = min(free, key=lambda c: (
+                    abs(c.occurrence - stored.occurrence), c.occurrence))
+        if candidate is None or candidate.key() in used_keys:
+            return None
+        used_keys.add(candidate.key())
+        mapped.append(PlannedPreemption.from_candidate(
+            candidate, stored.switch_to))
+    return mapped
+
+
+def warm_worklist(retrieval, candidates, thread_names,
+                  max_plans=DEFAULT_MAX_WARM_PLANS):
+    """Deterministic warm-prefix plans from one retrieval.
+
+    Exact-layer cases map strictly; near-layer cases map strictly first
+    and fall back to occurrence-relaxed mapping.  Plans are deduped by
+    fingerprint in retrieval order (the retriever already sorted cases
+    best-first) and capped at ``max_plans``.
+    """
+    relax = retrieval.layer == "near"
+    plans = []
+    seen = set()
+    for case in retrieval.cases:
+        mapped = map_plan(case.plan, candidates, thread_names,
+                          relax_occurrence=False)
+        if mapped is None and relax:
+            mapped = map_plan(case.plan, candidates, thread_names,
+                              relax_occurrence=True)
+        if mapped is None:
+            continue
+        fingerprint = plan_fingerprint(mapped)
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        plans.append(mapped)
+        if len(plans) >= max_plans:
+            break
+    return plans
+
+
+def splice_warm_prefix(search, warm_plans):
+    """Splice ``warm_plans`` ahead of a search's own plan generator.
+
+    Replaces ``search.plans`` with a generator yielding the warm prefix
+    first, then the strategy's original worklist minus any plan already
+    covered by the prefix (so ``tries`` accounting stays exact: each
+    distinct schedule is tried once).  With an empty prefix the original
+    generator is left untouched.  Returns the number of spliced plans.
+    """
+    warm_plans = list(warm_plans)
+    if not warm_plans:
+        return 0
+    original_plans = search.plans
+    prefix_fingerprints = {plan_fingerprint(p) for p in warm_plans}
+
+    def plans_with_prefix():
+        for plan in warm_plans:
+            yield plan
+        for plan in original_plans():
+            if plan_fingerprint(plan) in prefix_fingerprints:
+                continue
+            yield plan
+
+    search.plans = plans_with_prefix
+    return len(warm_plans)

@@ -25,10 +25,12 @@ to serial — nested pools never oversubscribe the machine.
     True
 """
 
+import dataclasses
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 
+from ..kb import program_fingerprint
 from ..search.parallel import in_worker, shared_pool
 from .config import ReproductionConfig
 from .report import ReproductionReport
@@ -42,6 +44,10 @@ class BatchResult:
     reports: dict[str, ReproductionReport] = field(default_factory=dict)
     #: scenario name -> error message for scenarios that raised
     errors: dict[str, str] = field(default_factory=dict)
+    #: duplicate submission -> canonical scenario it was deduped to
+    #: (identical program fingerprint: the duplicate's report is the
+    #: canonical one re-labelled, not a second full session)
+    deduped: dict[str, str] = field(default_factory=dict)
     workers: int = 1
     wall_seconds: float = 0.0
 
@@ -81,9 +87,33 @@ def _run_one(name, config, stress_seed_stop):
         seeds = None if stress_seed_stop is None else range(stress_seed_stop)
         session = ReproSession.from_scenario(name, config=config,
                                              stress_seeds=seeds)
-        return name, session.report().to_json(), None
+        report_json = session.report().to_json()
+        # every completed report feeds the knowledge base (no-op unless
+        # the config names an index); workers append through the store's
+        # lock + atomic replace, so concurrent sessions never clobber
+        session.record_to_kb()
+        return name, report_json, None
     except Exception as exc:  # noqa: BLE001 — batch isolates per-bug failures
         return name, None, "%s: %s" % (type(exc).__name__, exc)
+
+
+def _fingerprint_scenarios(names):
+    """``{name: fingerprint}`` for registered scenarios, best effort.
+
+    A scenario whose build raises is left out — ``_run_one`` will
+    surface the error through the normal per-bug isolation instead.
+    """
+    from ..bugs import get_scenario
+
+    fingerprints = {}
+    for name in names:
+        try:
+            scenario = get_scenario(name)
+            fingerprints[name] = program_fingerprint(
+                scenario.build(), input_overrides=scenario.input_overrides)
+        except Exception:  # noqa: BLE001 — defer to _run_one's isolation
+            continue
+    return fingerprints
 
 
 def select_scenarios(tags=(), exclude_tags=()):
@@ -128,14 +158,30 @@ def run_many(scenarios=None, config=None, workers=None, stress_seed_stop=8000,
     start = time.perf_counter()
     result = BatchResult(workers=max(1, workers or 1))
 
-    if result.workers == 1 or len(names) <= 1 or in_worker():
-        rows = [_run_one(name, config, stress_seed_stop) for name in names]
+    # identical submissions under different names (same program
+    # fingerprint + input) reproduce identically; run the first, alias
+    # the rest
+    fingerprints = _fingerprint_scenarios(names)
+    canonical = {}
+    for name in names:
+        fingerprint = fingerprints.get(name)
+        if fingerprint is None:
+            continue
+        if fingerprint in canonical:
+            result.deduped[name] = canonical[fingerprint]
+        else:
+            canonical[fingerprint] = name
+    run_names = [name for name in names if name not in result.deduped]
+
+    if result.workers == 1 or len(run_names) <= 1 or in_worker():
+        rows = [_run_one(name, config, stress_seed_stop)
+                for name in run_names]
     else:
         # the shared pool may be larger than this batch's worker budget
         # (another caller grew it); keep at most ``workers`` scenarios
         # in flight so the requested concurrency is actually honored
         pool = shared_pool(result.workers)
-        queue = iter(names)
+        queue = iter(run_names)
         in_flight = set()
         by_name = {}
 
@@ -153,12 +199,17 @@ def run_many(scenarios=None, config=None, workers=None, stress_seed_stop=8000,
                 row = future.result()
                 by_name[row[0]] = row
                 submit_next()
-        rows = [by_name[name] for name in names]
+        rows = [by_name[name] for name in run_names]
 
-    for name, report_json, error in rows:
+    by_name = {row[0]: row for row in rows}
+    for name in names:
+        _orig, report_json, error = by_name[result.deduped.get(name, name)]
         if error is not None:
             result.errors[name] = error
         else:
-            result.reports[name] = ReproductionReport.from_json(report_json)
+            report = ReproductionReport.from_json(report_json)
+            if name != report.bug:
+                report = dataclasses.replace(report, bug=name)
+            result.reports[name] = report
     result.wall_seconds = time.perf_counter() - start
     return result

@@ -52,6 +52,16 @@ class ReproductionConfig:
     #: ran from the cross-strategy testrun memo (identical outcomes,
     #: ``memo_hits`` counted in the SearchOutcome)
     testrun_memo: bool = True
+    #: path to the crash knowledge-base index (None disables the KB)
+    kb_path: str | None = None
+    #: splice plans retrieved from the KB ahead of the strategy ranking
+    #: (no-op while ``kb_path`` is None)
+    kb_warmstart: bool = True
+    #: record completed reproductions into the KB (no-op while
+    #: ``kb_path`` is None)
+    kb_record: bool = True
+    #: cap on retrieved plans spliced ahead of the ranking per search
+    kb_max_warm_plans: int = 16
 
     def __post_init__(self):
         self.heuristics = tuple(self.heuristics)
@@ -73,6 +83,8 @@ class ReproductionConfig:
             raise ValueError("stress_workers must be >= 1")
         if self.search_shard_size is not None and self.search_shard_size < 1:
             raise ValueError("search_shard_size must be >= 1 or None")
+        if self.kb_max_warm_plans < 1:
+            raise ValueError("kb_max_warm_plans must be >= 1")
         return self
 
     def strategy_names(self):

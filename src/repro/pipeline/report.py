@@ -10,7 +10,7 @@ for Table 4.
 """
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Optional
 
 from ..indexing.align import AlignmentResult
@@ -149,7 +149,7 @@ class ReproductionReport:
             raise DumpError(
                 "unsupported report schema %r (this build reads %s)"
                 % (schema, ", ".join(sorted(READABLE_SCHEMAS))))
-        config_doc = dict(doc["config"])
+        config_doc = _filter_fields(ReproductionConfig, doc["config"])
         config_doc["heuristics"] = tuple(config_doc["heuristics"])
         return cls(
             bug=doc["bug"],
@@ -173,7 +173,8 @@ class ReproductionReport:
             candidate_count=doc["candidate_count"],
             searches={name: _decode_outcome(o)
                       for name, o in doc["searches"].items()},
-            timings=PhaseTimings(**doc["timings"]),
+            timings=PhaseTimings(**_filter_fields(PhaseTimings,
+                                                  doc["timings"])),
         )
 
 
@@ -191,12 +192,25 @@ _INDEX_ENTRY_KINDS = {
 _KIND_OF_ENTRY = {cls: kind for kind, cls in _INDEX_ENTRY_KINDS.items()}
 
 
+def _filter_fields(cls, doc):
+    """Drop keys ``cls`` does not declare (forward compatibility).
+
+    A ``repro.report/1.x`` document written by a *newer* build may carry
+    additive fields in any nested object; decoding keeps what this build
+    knows and ignores the rest instead of failing on an unexpected
+    keyword (top-level unknowns are already ignored — ``from_json``
+    reads only the keys it knows).
+    """
+    known = {f.name for f in fields(cls)}
+    return {key: value for key, value in doc.items() if key in known}
+
+
 def _encode_failure(failure):
     return None if failure is None else asdict(failure)
 
 
 def _decode_failure(doc):
-    return None if doc is None else Failure(**doc)
+    return None if doc is None else Failure(**_filter_fields(Failure, doc))
 
 
 def _encode_index(index):
@@ -217,6 +231,7 @@ def _decode_index(entries):
     for doc in entries:
         doc = dict(doc)
         cls = _INDEX_ENTRY_KINDS[doc.pop("kind")]
+        doc = _filter_fields(cls, doc)
         if cls is AggregateEntry:
             doc["members"] = tuple(doc["members"])
         decoded.append(cls(**doc))
@@ -234,7 +249,7 @@ def _encode_alignment(alignment):
 def _decode_alignment(doc):
     if doc is None:
         return None
-    doc = dict(doc)
+    doc = _filter_fields(AlignmentResult, doc)
     doc["criterion_locs"] = tuple(tuple(loc) for loc in doc["criterion_locs"])
     return AlignmentResult(**doc)
 
@@ -271,7 +286,8 @@ def _decode_outcome(doc):
         memo_hits=doc.get("memo_hits", 0),
         wall_seconds=doc["wall_seconds"],
         plan=None if doc["plan"] is None
-        else [PlannedPreemption(**p) for p in doc["plan"]],
+        else [PlannedPreemption(**_filter_fields(PlannedPreemption, p))
+              for p in doc["plan"]],
         cutoff=doc["cutoff"],
         failure=_decode_failure(doc["failure"]),
         tries_by_size={int(size): count

@@ -42,6 +42,14 @@ from ..coredump.serialize import dump_from_json, dump_to_json
 from ..indexing.index import Index
 from ..indexing.align import AlignmentResult
 from ..indexing.reverse import reverse_engineer_index
+from ..kb import (
+    KBCase,
+    KnowledgeBase,
+    extract_signature,
+    program_fingerprint,
+    splice_warm_prefix,
+    warm_worklist,
+)
 from ..lang.errors import SearchError
 from ..registry import ALIGNERS, HEURISTICS
 from ..runtime.scheduler import DeterministicScheduler
@@ -174,6 +182,15 @@ class ReproSession:
             TestrunMemo() if self.config.testrun_memo else None
         self._worker_spec = None
         self._worker_spec_built = False
+        self._fingerprint = None
+        self._kb: Optional[KnowledgeBase] = None
+        self._kb_built = False
+        #: strategy name -> plans spliced ahead of its ranking (0 when
+        #: the KB is disabled, empty, or missed) — observability for
+        #: tests and the CLI
+        self.kb_warm_counts: dict = {}
+        #: strategy name -> retrieval layer ("exact"/"near"/"miss")
+        self.kb_retrieval_layers: dict = {}
         #: stage name -> number of times the stage actually executed
         #: (memoized hits do not count); lets callers verify reuse
         self.stage_runs = {"stress": 0, "analyze": 0, "diff": 0, "search": 0}
@@ -384,6 +401,7 @@ class ReproSession:
             )
             search = factory(ctx)
             self._candidate_counts[name] = ctx.last_candidate_count
+            self._warm_start(name, search)
             workers = self.config.search_workers
             self._searches[name] = run_search(
                 search, workers=workers,
@@ -391,6 +409,81 @@ class ReproSession:
                 shard_size=self.config.search_shard_size)
             self.stage_wall_s["search"] += time.perf_counter() - stage_start
         return self._searches[name]
+
+    # -- the crash knowledge base ---------------------------------------------
+
+    def fingerprint(self):
+        """The program's canonical fingerprint (KB exact-dedup key)."""
+        if self._fingerprint is None:
+            self._fingerprint = program_fingerprint(
+                self.bundle.program, compiled=self.bundle.compiled,
+                input_overrides=self.input_overrides)
+        return self._fingerprint
+
+    def crash_signature(self):
+        """This failure's canonical :class:`~repro.kb.CrashSignature`.
+
+        Needs the failure dump and the dump diff (stage 2), so the
+        stages run if they have not yet.
+        """
+        dump = self.acquire_failure()
+        plan = self.diff_and_prioritize()
+        return extract_signature(dump.failure, dump, plan.csv_paths,
+                                 len(self.bundle.program.threads))
+
+    def knowledge_base(self):
+        """The configured :class:`~repro.kb.KnowledgeBase`, or None."""
+        if not self._kb_built:
+            self._kb_built = True
+            if self.config.kb_path is not None:
+                self._kb = KnowledgeBase(self.config.kb_path)
+        return self._kb
+
+    def _warm_start(self, name, search):
+        """Splice KB-retrieved plans ahead of ``search``'s own ranking.
+
+        With the KB disabled, empty, or missing on this crash the splice
+        is empty and the search object is left untouched — outcomes stay
+        byte-identical to a cold search.
+        """
+        self.kb_warm_counts[name] = 0
+        kb = self.knowledge_base()
+        if kb is None or not self.config.kb_warmstart:
+            return
+        retrieval = kb.retrieve(self.fingerprint(), self.crash_signature(),
+                                strategy=name)
+        self.kb_retrieval_layers[name] = retrieval.layer
+        warm = warm_worklist(retrieval, search.candidates,
+                             self.bundle.thread_names(),
+                             max_plans=self.config.kb_max_warm_plans)
+        self.kb_warm_counts[name] = splice_warm_prefix(search, warm)
+
+    def record_to_kb(self, kb=None):
+        """Record this session's reproducing searches; returns cases added.
+
+        Every completed search that reproduced contributes one
+        :class:`~repro.kb.KBCase` (its winning plan under its strategy).
+        ``kb`` overrides the config-derived knowledge base — so a cold
+        session (``kb_path=None``) can still populate an index, e.g. in
+        benchmarks; without an override, ``kb_record=False`` or a
+        disabled KB makes this a no-op.
+        """
+        if kb is None:
+            if not self.config.kb_record:
+                return 0
+            kb = self.knowledge_base()
+        if kb is None:
+            return 0
+        cases = [KBCase(fingerprint=self.fingerprint(),
+                        signature=self.crash_signature(),
+                        bug=self.bundle.name,
+                        strategy=name,
+                        tries=outcome.tries,
+                        total_steps=outcome.total_steps,
+                        plan=tuple(outcome.plan))
+                 for name, outcome in self._searches.items()
+                 if outcome.reproduced and outcome.plan]
+        return kb.record(cases)
 
     def worker_spec(self):
         """The picklable bundle parallel-search workers rebuild from.

@@ -1,0 +1,210 @@
+"""Signatures, fingerprints, layered retrieval, and warm-prefix mapping."""
+
+import pytest
+
+from repro.bugs import get_scenario
+from repro.kb import (
+    CrashSignature,
+    KBRetriever,
+    map_plan,
+    program_fingerprint,
+    splice_warm_prefix,
+    warm_worklist,
+)
+from repro.kb.retriever import Retrieval, near_score
+from repro.pipeline import ProgramBundle, ReproSession
+from repro.search.base import plan_fingerprint
+from repro.search.preemption import PlannedPreemption, PreemptionCandidate
+
+from tests.kb.test_store import make_case
+
+
+# ---------------------------------------------------------------------------
+# signatures and fingerprints
+# ---------------------------------------------------------------------------
+
+def test_signature_extracted_from_session():
+    session = ReproSession.from_scenario("fig1")
+    signature = session.crash_signature()
+    failure = session.failure_dump.failure
+    assert signature.fault_kind == failure.kind
+    assert signature.failure_pc == failure.pc
+    assert signature.exact_key() == failure.signature()
+    assert signature.frame_shape    # failing thread has frames
+    assert signature.crash_func == signature.frame_shape[-1]
+    assert signature.shared_vars == tuple(sorted(set(signature.shared_vars)))
+    assert signature.thread_count == 2
+
+
+def test_signature_doc_round_trip():
+    signature = make_case().signature
+    assert CrashSignature.from_doc(signature.to_doc()) == signature
+
+
+def test_fingerprint_stable_and_discriminating():
+    fig1 = get_scenario("fig1")
+    a = program_fingerprint(fig1.build())
+    b = program_fingerprint(fig1.build())
+    assert a == b                           # two builds, one fingerprint
+    other = program_fingerprint(get_scenario("apache-1").build())
+    assert a != other
+    # the run's input is part of the submission identity
+    overridden = program_fingerprint(fig1.build(),
+                                     input_overrides={"n": 3})
+    assert overridden != a
+
+
+def test_fingerprint_matches_session_fingerprint():
+    scenario = get_scenario("fig1")
+    session = ReproSession(ProgramBundle(scenario.build()),
+                           input_overrides=scenario.input_overrides)
+    assert session.fingerprint() == program_fingerprint(
+        scenario.build(), input_overrides=scenario.input_overrides)
+
+
+def test_synth_sibling_seeds_have_distinct_fingerprints():
+    a = program_fingerprint(get_scenario("synth-lock-s0").build())
+    b = program_fingerprint(get_scenario("synth-lock-s1").build())
+    assert a != b
+
+
+# ---------------------------------------------------------------------------
+# layered retrieval
+# ---------------------------------------------------------------------------
+
+def test_exact_layer_beats_near():
+    exact = make_case(fingerprint="aaa", tries=9)
+    near = make_case(fingerprint="bbb", tries=1)
+    result = KBRetriever([near, exact]).lookup("aaa", exact.signature)
+    assert result.layer == "exact"
+    assert [c.fingerprint for c in result.cases] == ["aaa"]
+
+
+def test_exact_layer_orders_by_tries():
+    slow = make_case(fingerprint="aaa", tries=9, occurrence=0)
+    fast = make_case(fingerprint="aaa", tries=2, occurrence=1)
+    result = KBRetriever([slow, fast]).lookup("aaa", slow.signature)
+    assert [c.tries for c in result.cases] == [2, 9]
+
+
+def test_strategy_filter_restricts_pool():
+    dep = make_case(strategy="chessX+dep")
+    result = KBRetriever([dep]).lookup(dep.fingerprint, dep.signature,
+                                       strategy="chess")
+    assert result.layer == "miss"
+
+
+def test_near_layer_gates_on_fault_kind():
+    stored = make_case(kind="assert")
+    query = make_case(fingerprint="other", kind="null-deref").signature
+    assert KBRetriever([stored]).lookup("nope", query).layer == "miss"
+
+
+def test_near_layer_scores_and_orders():
+    twin = make_case(fingerprint="aaa", tries=5)          # same everything
+    cousin_sig = CrashSignature(
+        fault_kind="assert", crash_func="worker",
+        frame_shape=("main", "other", "worker"), shared_vars=("g.x",),
+        thread_count=3, failure_pc=77)
+    import dataclasses
+    cousin = dataclasses.replace(make_case(fingerprint="bbb", tries=1),
+                                 signature=cousin_sig)
+    query = make_case(fingerprint="zzz").signature
+    result = KBRetriever([cousin, twin]).lookup("zzz", query)
+    assert result.layer == "near"
+    # identical signature outranks the partial match regardless of tries
+    assert result.cases[0] is twin
+    assert result.scores[0] == pytest.approx(10.0)
+    assert result.scores[0] > result.scores[1]
+    assert near_score(query, twin.signature) == pytest.approx(10.0)
+
+
+def test_near_layer_threshold_drops_weak_matches():
+    weak_sig = CrashSignature(
+        fault_kind="assert", crash_func="elsewhere",
+        frame_shape=("zzz",), shared_vars=("q.q",),
+        thread_count=9, failure_pc=1)
+    import dataclasses
+    weak = dataclasses.replace(make_case(fingerprint="bbb"),
+                               signature=weak_sig)
+    query = make_case(fingerprint="zzz").signature
+    assert KBRetriever([weak]).lookup("zzz", query).layer == "miss"
+
+
+# ---------------------------------------------------------------------------
+# warm-prefix mapping and splicing
+# ---------------------------------------------------------------------------
+
+def _candidate(cid, thread="t1", kind="acquire", lock="L", occurrence=0):
+    return PreemptionCandidate(cid=cid, thread=thread, kind=kind, lock=lock,
+                               occurrence=occurrence, pc=cid, step=cid)
+
+
+def test_map_plan_strict_requires_exact_keys():
+    candidates = [_candidate(0, occurrence=0), _candidate(1, occurrence=1)]
+    stored = [PlannedPreemption("t1", "acquire", "L", 1, "t2")]
+    mapped = map_plan(stored, candidates, ["t1", "t2"])
+    assert [p.occurrence for p in mapped] == [1]
+    # occurrence 5 exists nowhere: strict mapping refuses
+    missing = [PlannedPreemption("t1", "acquire", "L", 5, "t2")]
+    assert map_plan(missing, candidates, ["t1", "t2"]) is None
+
+
+def test_map_plan_relaxed_snaps_to_nearest_occurrence():
+    candidates = [_candidate(0, occurrence=0), _candidate(1, occurrence=3)]
+    stored = [PlannedPreemption("t1", "acquire", "L", 5, "t2")]
+    mapped = map_plan(stored, candidates, ["t1", "t2"],
+                      relax_occurrence=True)
+    assert [p.occurrence for p in mapped] == [3]
+    # two members may not collapse onto one candidate
+    doubled = [PlannedPreemption("t1", "acquire", "L", 5, "t2"),
+               PlannedPreemption("t1", "acquire", "L", 7, None)]
+    mapped = map_plan(doubled, candidates, ["t1", "t2"],
+                      relax_occurrence=True)
+    assert mapped is not None
+    assert sorted(p.occurrence for p in mapped) == [0, 3]
+
+
+def test_map_plan_rejects_unknown_switch_target():
+    candidates = [_candidate(0)]
+    stored = [PlannedPreemption("t1", "acquire", "L", 0, "zz-thread")]
+    assert map_plan(stored, candidates, ["t1", "t2"]) is None
+    assert map_plan(stored, candidates, ["t1", "t2"],
+                    relax_occurrence=True) is None
+
+
+def test_warm_worklist_dedups_and_caps():
+    candidates = [_candidate(0)]
+    case_a = make_case(tries=1)
+    case_b = make_case(bug="bug-b", tries=2)  # same plan -> same fingerprint
+    retrieval = Retrieval(layer="exact", cases=[case_a, case_b])
+    plans = warm_worklist(retrieval, candidates, ["t1", "t2"])
+    assert len(plans) == 1
+    assert plan_fingerprint(plans[0]) == plan_fingerprint(case_a.plan)
+    assert warm_worklist(Retrieval(layer="miss"), candidates, ["t1"]) == []
+
+
+class _FakeSearch:
+    def __init__(self, worklist):
+        self._worklist = worklist
+
+    def plans(self):
+        yield from self._worklist
+
+
+def test_splice_prefix_prepends_and_dedups():
+    own = [[PlannedPreemption("t1", "acquire", "L", 0, "t2")],
+           [PlannedPreemption("t1", "acquire", "L", 1, "t2")]]
+    warm = [[PlannedPreemption("t1", "acquire", "L", 1, "t2")]]
+    search = _FakeSearch(list(own))
+    assert splice_warm_prefix(search, warm) == 1
+    ordered = list(search.plans())
+    assert [plan_fingerprint(p) for p in ordered] == \
+        [plan_fingerprint(warm[0]), plan_fingerprint(own[0])]
+
+
+def test_splice_empty_prefix_is_untouched():
+    search = _FakeSearch([[PlannedPreemption("t1", "acquire", "L", 0, "t2")]])
+    assert splice_warm_prefix(search, []) == 0
+    # no instance-level override installed: the class generator still runs
+    assert "plans" not in vars(search)

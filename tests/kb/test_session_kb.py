@@ -1,0 +1,199 @@
+"""KB wiring through the session, the batch driver, and the CLI."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bugs import get_scenario
+from repro.bugs.registry import _REGISTRY
+from repro.cli import main as cli_main
+from repro.kb import KnowledgeBase
+from repro.pipeline import (
+    ReproSession,
+    ReproductionConfig,
+    ReproductionReport,
+    run_many,
+)
+from repro.search.base import plan_fingerprint
+
+#: generous wall budgets so tries never depend on machine speed; memo
+#: off so warm-vs-cold try counts are attributable to the KB alone
+_CONFIG_KW = dict(chess_max_seconds=10_000.0, chessx_max_seconds=10_000.0,
+                  testrun_memo=False)
+
+#: a scenario whose cold guided search needs > 1 try (so tries == 1
+#: after warm start is meaningful, not the cold behaviour)
+SCENARIO = "synth-mvar-s2"
+STRATEGY = "chessX+dep"
+
+_DUMPS = {}
+
+
+def _dump_for(name):
+    if name not in _DUMPS:
+        session = ReproSession.from_scenario(
+            name, config=ReproductionConfig(**_CONFIG_KW))
+        _DUMPS[name] = session.acquire_failure()
+    return _DUMPS[name]
+
+
+def _session(name, kb_path=None, **kw):
+    return ReproSession.from_scenario(
+        name, config=ReproductionConfig(kb_path=kb_path, **_CONFIG_KW, **kw),
+        failure_dump=_dump_for(name))
+
+
+def test_exact_reoccurrence_reproduces_first_try(tmp_path):
+    kb_path = str(tmp_path / "kb.json")
+    cold = _session(SCENARIO)
+    cold_outcome = cold.search(STRATEGY)
+    assert cold_outcome.reproduced and cold_outcome.tries > 1
+    assert cold.record_to_kb(kb=KnowledgeBase(kb_path)) == 1
+
+    warm = _session(SCENARIO, kb_path=kb_path)
+    warm_outcome = warm.search(STRATEGY)
+    assert warm.kb_retrieval_layers[STRATEGY] == "exact"
+    assert warm.kb_warm_counts[STRATEGY] == 1
+    assert warm_outcome.reproduced
+    assert warm_outcome.tries == 1
+    assert plan_fingerprint(warm_outcome.plan) \
+        == plan_fingerprint(cold_outcome.plan)
+    assert warm_outcome.failure.signature() \
+        == cold_outcome.failure.signature()
+
+
+def test_kb_disabled_by_default():
+    session = _session(SCENARIO)
+    assert session.knowledge_base() is None
+    session.search(STRATEGY)
+    assert session.kb_warm_counts[STRATEGY] == 0
+    assert session.record_to_kb() == 0
+
+
+def test_record_gating(tmp_path):
+    kb_path = str(tmp_path / "kb.json")
+    session = _session(SCENARIO, kb_path=kb_path, kb_record=False)
+    session.search(STRATEGY)
+    assert session.record_to_kb() == 0          # config says no
+    override = KnowledgeBase(tmp_path / "other.json")
+    assert session.record_to_kb(kb=override) == 1   # explicit kb wins
+    assert len(override.cases()) == 1
+
+
+def test_warmstart_gating(tmp_path):
+    kb_path = str(tmp_path / "kb.json")
+    cold = _session(SCENARIO)
+    cold_outcome = cold.search(STRATEGY)
+    cold.record_to_kb(kb=KnowledgeBase(kb_path))
+    no_warm = _session(SCENARIO, kb_path=kb_path, kb_warmstart=False)
+    outcome = no_warm.search(STRATEGY)
+    assert no_warm.kb_warm_counts[STRATEGY] == 0
+    assert outcome.tries == cold_outcome.tries
+
+
+def test_warm_prefix_composes_with_parallel_search(tmp_path):
+    """The spliced worklist drives the sharded executor identically."""
+    kb_path = str(tmp_path / "kb.json")
+    cold = _session(SCENARIO)
+    cold.search(STRATEGY)
+    cold.record_to_kb(kb=KnowledgeBase(kb_path))
+    serial = _session(SCENARIO, kb_path=kb_path)
+    parallel = _session(SCENARIO, kb_path=kb_path, search_workers=3)
+    a = serial.search(STRATEGY)
+    b = parallel.search(STRATEGY)
+    assert a.tries == b.tries == 1
+    assert a.plan == b.plan
+    assert a.total_steps == b.total_steps
+    assert a.tries_by_size == b.tries_by_size
+
+
+def test_run_many_records_and_dedups(tmp_path):
+    """The batch driver populates the KB and aliases identical programs."""
+    kb_path = str(tmp_path / "kb.json")
+    fig1 = get_scenario("fig1")
+    twin = dataclasses.replace(fig1, name="fig1-resubmitted")
+    _REGISTRY[twin.name] = twin
+    try:
+        config = ReproductionConfig(kb_path=kb_path, **_CONFIG_KW)
+        batch = run_many(["fig1", twin.name], config=config,
+                         stress_seed_stop=2000).raise_errors()
+        assert batch.deduped == {twin.name: "fig1"}
+        assert set(batch.reports) == {"fig1", twin.name}
+        # the alias keeps its submitted name but is the canonical report
+        dup = batch.reports[twin.name]
+        assert dup.bug == twin.name
+        assert dup.searches[STRATEGY].tries \
+            == batch.reports["fig1"].searches[STRATEGY].tries
+        # one session ran -> one fingerprint's cases recorded
+        kb = KnowledgeBase(kb_path)
+        assert len({c.fingerprint for c in kb.cases()}) == 1
+        assert {c.bug for c in kb.cases()} == {"fig1"}
+        assert all(c.strategy in config.strategy_names()
+                   for c in kb.cases())
+    finally:
+        _REGISTRY.pop(twin.name, None)
+
+
+def test_run_many_without_kb_unchanged():
+    batch = run_many(["fig1"], config=ReproductionConfig(**_CONFIG_KW),
+                     stress_seed_stop=2000).raise_errors()
+    assert batch.deduped == {}
+    assert batch.reports["fig1"].searches[STRATEGY].reproduced
+
+
+# ---------------------------------------------------------------------------
+# the python -m repro CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_run_writes_report_and_populates_kb(tmp_path, capsys):
+    kb_path = str(tmp_path / "kb.json")
+    report_path = str(tmp_path / "report.json")
+    code = cli_main(["run", "fig1", "--report", report_path,
+                     "--kb", kb_path, "--strategy", STRATEGY])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "reproduced" in out
+    report = ReproductionReport.from_json(
+        open(report_path, encoding="utf-8").read())
+    assert report.bug == "fig1"
+    assert report.searches[STRATEGY].reproduced
+    assert len(KnowledgeBase(kb_path).cases()) >= 1
+
+
+def test_cli_kb_stats_and_compact(tmp_path, capsys):
+    kb_path = str(tmp_path / "kb.json")
+    assert cli_main(["run", "fig1", "--kb", kb_path,
+                     "--strategy", STRATEGY]) == 0
+    capsys.readouterr()
+    assert cli_main(["kb", "--kb", kb_path, "--compact"]) == 0
+    out = capsys.readouterr().out
+    stats = json.loads(out[out.index("{"):])
+    assert stats["cases"] == 1
+    assert stats["strategies"] == [STRATEGY]
+
+
+def test_cli_verify_warm_exact(tmp_path, capsys):
+    kb_path = str(tmp_path / "kb.json")
+    assert cli_main(["run", "fig1", "--kb", kb_path,
+                     "--strategy", STRATEGY]) == 0
+    assert cli_main(["verify-warm", "--kb", kb_path, "--names", "fig1",
+                     "--strategy", STRATEGY]) == 0
+    out = capsys.readouterr().out
+    assert "layer=exact" in out
+    assert "warm <= cold held" in out
+
+
+def test_cli_list(capsys):
+    assert cli_main(["list", "--tags", "paper"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out or "apache-1" in out
+
+
+def test_cli_batch(tmp_path, capsys):
+    kb_path = str(tmp_path / "kb.json")
+    assert cli_main(["batch", "--names", "fig1", "--kb", kb_path,
+                     "--seed-stop", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out and "1 scenario(s), 0 error(s)" in out
+    assert len(KnowledgeBase(kb_path).cases()) >= 1

@@ -1,0 +1,176 @@
+"""KB store robustness: corruption tolerance, concurrency, compaction."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.kb import CrashSignature, KBCase, KBRetriever, KBStore, \
+    KBStoreWarning, KnowledgeBase
+from repro.search.preemption import PlannedPreemption
+
+
+def make_case(fingerprint="f" * 8, kind="assert", pc=10, bug="bug-a",
+              strategy="chessX+dep", tries=7, occurrence=0, saved_at=1.0):
+    signature = CrashSignature(
+        fault_kind=kind, crash_func="worker",
+        frame_shape=("main", "worker"), shared_vars=("g.x", "g.y"),
+        thread_count=2, failure_pc=pc)
+    plan = (PlannedPreemption(thread="t1", kind="acquire", lock="L",
+                              occurrence=occurrence, switch_to="t2"),)
+    return KBCase(fingerprint=fingerprint, signature=signature, bug=bug,
+                  strategy=strategy, tries=tries, total_steps=tries * 10,
+                  plan=plan, saved_at=saved_at)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return KBStore(tmp_path / "kb.json")
+
+
+def test_append_load_round_trip(store):
+    case = make_case()
+    assert store.append([case]) == 1
+    loaded = store.load()
+    assert len(loaded) == 1
+    assert loaded[0] == case
+
+
+def test_missing_index_is_silent_cold_start(store):
+    assert store.load() == []
+
+
+def test_append_dedups_identical_cases(store):
+    case = make_case()
+    assert store.append([case]) == 1
+    # same identity again: idempotent, no growth
+    assert store.append([make_case()]) == 0
+    # same site but a different plan occurrence is a distinct entry
+    assert store.append([make_case(occurrence=1)]) == 1
+    assert len(store.load()) == 2
+
+
+@pytest.mark.parametrize("payload", [
+    "{ not json at all",                                   # garbage
+    json.dumps({"schema": "repro.kb/1", "cases": []})[:-9],  # truncated
+    json.dumps({"schema": "repro.kb/99", "cases": []}),    # future schema
+    json.dumps(["repro.kb/1"]),                            # wrong shape
+    json.dumps({"schema": "repro.kb/1", "cases": "oops"}),  # bad case list
+])
+def test_corrupted_index_falls_back_to_cold_start(store, payload):
+    store.path.write_text(payload)
+    with pytest.warns(KBStoreWarning):
+        assert store.load() == []
+    # and the store stays writable: append rebuilds a valid index
+    with pytest.warns(KBStoreWarning):
+        assert store.append([make_case()]) == 1
+    assert len(store.load()) == 1
+
+
+def test_undecodable_case_skipped_rest_survive(store):
+    store.append([make_case(bug="good")])
+    doc = json.loads(store.path.read_text())
+    doc["cases"].append({"fingerprint": "x", "not": "a case"})
+    store.path.write_text(json.dumps(doc))
+    with pytest.warns(KBStoreWarning, match="undecodable"):
+        cases = store.load()
+    assert [c.bug for c in cases] == ["good"]
+
+
+def test_write_is_atomic_replace(store):
+    store.append([make_case()])
+    # no temp litter left behind and the index parses standalone
+    litter = [p for p in store.path.parent.iterdir()
+              if p.name.startswith(".") and ".tmp." in p.name]
+    assert litter == []
+    assert json.loads(store.path.read_text())["schema"] == "repro.kb/1"
+
+
+def test_concurrent_appends_never_clobber(store):
+    """Writers racing through their own store handles all land."""
+    errors = []
+
+    def writer(i):
+        try:
+            own = KBStore(store.path)
+            for j in range(5):
+                own.append([make_case(bug="bug-%d-%d" % (i, j), pc=i * 100 + j)])
+        except Exception as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert len(store.load()) == 40
+    assert not store._lock_path().exists()
+
+
+def test_stale_lock_is_stolen(store):
+    lock = store._lock_path()
+    lock.parent.mkdir(parents=True, exist_ok=True)
+    lock.write_text("12345")
+    stale = time.time() - 3600
+    os.utime(lock, (stale, stale))
+    assert store.append([make_case()]) == 1
+    assert len(store.load()) == 1
+
+
+def test_lock_timeout_proceeds_with_warning(tmp_path):
+    store = KBStore(tmp_path / "kb.json", lock_timeout=0.05)
+    lock = store._lock_path()
+    lock.write_text("12345")  # fresh (mtime now): not stealable
+    with pytest.warns(KBStoreWarning, match="timed out"):
+        assert store.append([make_case()]) == 1
+    assert len(store.load()) == 1
+    lock.unlink()
+
+
+def test_compaction_preserves_retrieval_results(store):
+    """Compaction drops re-occurrences but never the retrieval answer."""
+    # three re-occurrences of one case (different tries), plus one
+    # distinct strategy and one distinct crash
+    store.append([make_case(tries=9, saved_at=1.0, occurrence=0)])
+    store.append([make_case(tries=3, saved_at=2.0, occurrence=1)])
+    store.append([make_case(tries=5, saved_at=3.0, occurrence=2)])
+    store.append([make_case(strategy="chess", tries=4, occurrence=0)])
+    store.append([make_case(pc=99, bug="bug-b", tries=2)])
+
+    query = make_case(tries=1).signature
+    before = KBRetriever(store.load()).lookup("f" * 8, query,
+                                              strategy="chessX+dep")
+    kept, dropped = store.compact()
+    assert kept == 3 and dropped == 2
+    after = KBRetriever(store.load()).lookup("f" * 8, query,
+                                             strategy="chessX+dep")
+    assert before.layer == after.layer == "exact"
+    # the best (fewest-tries) case per key survived and still ranks first
+    assert after.cases[0].tries == before.cases[0].tries == 3
+    assert [c.identity() for c in after.cases][:1] == \
+        [c.identity() for c in before.cases][:1]
+
+
+def test_knowledge_base_facade_caches_and_invalidates(tmp_path):
+    kb = KnowledgeBase(tmp_path / "kb.json")
+    assert kb.cases() == []
+    assert kb.record([make_case()]) == 1
+    assert len(kb.cases()) == 1            # cache invalidated by record
+    assert kb.record([make_case()]) == 0   # identity dedup
+    stats = kb.stats()
+    assert stats["cases"] == 1 and stats["bugs"] == 1
+    assert stats["strategies"] == ["chessX+dep"]
+    kb.record([make_case(occurrence=1, tries=2)])
+    kept, dropped = kb.compact()
+    assert (kept, dropped) == (1, 1)
+    assert len(kb.cases()) == 1
+
+
+def test_recorded_cases_get_timestamps(tmp_path):
+    kb = KnowledgeBase(tmp_path / "kb.json")
+    case = make_case(saved_at=0.0)
+    kb.record([case], now=123.0)
+    assert kb.cases()[0].saved_at == 123.0

@@ -1,0 +1,127 @@
+"""The KB's zero-interference bar (property, over the paper suite).
+
+Warm starting is a pure worklist-prefix optimisation: whenever the
+knowledge base contributes *nothing* — because it is disabled, empty, or
+retrieves only plans that cannot be mapped onto the current candidate
+worklist — the :class:`SearchOutcome` must be byte-identical to the cold
+serial baseline.  Same plan, same tries, same verdict, same logical step
+totals, same ``tries_by_size``, same ``memo_hits``.
+
+The all-miss variant is the adversarial one: per scenario the index
+holds a case with the scenario's *own* crash signature (so the near
+layer does retrieve it) whose stored plan switches to a thread the
+program does not have — mapping fails, the warm prefix is empty, and the
+splice must leave the search untouched — plus chaff under a different
+fault kind that never clears the retrieval gate.
+"""
+
+import pytest
+
+from repro.bugs import get_scenario
+from repro.kb import KBCase, KnowledgeBase
+from repro.pipeline import ProgramBundle, ReproSession, ReproductionConfig
+from repro.search.preemption import PlannedPreemption
+
+from tests.conftest import suite_scenario_names
+from tests.kb.test_store import make_case
+from tests.search.test_parallel_equivalence import assert_identical
+
+ALL_NAMES = suite_scenario_names()
+STRATEGIES = ("chess", "chessX+dep")
+VARIANTS = ("disabled", "empty", "all-miss")
+
+#: generous wall budgets so outcomes cut off on tries, never on wall time
+_CONFIG_KW = dict(chess_max_seconds=10_000.0, chessx_max_seconds=10_000.0)
+
+_DUMPS = {}
+_OUTCOMES = {}
+
+
+def _failure_dump(name):
+    if name not in _DUMPS:
+        scenario = get_scenario(name)
+        bundle = ProgramBundle(scenario.build())
+        base = ReproSession(bundle,
+                            input_overrides=scenario.input_overrides,
+                            stress_seeds=range(8000),
+                            expected_kind=scenario.expected_fault)
+        _DUMPS[name] = (scenario, bundle, base.acquire_failure())
+    return _DUMPS[name]
+
+
+def _all_miss_kb(name, tmp_path):
+    """An index whose every retrieval hit maps to an empty warm prefix."""
+    scenario, bundle, dump = _failure_dump(name)
+    session = ReproSession(bundle, failure_dump=dump,
+                           input_overrides=scenario.input_overrides)
+    # the scenario's own signature: the near layer retrieves it with a
+    # perfect score, but the plan names a thread the program lacks
+    unmappable = KBCase(
+        fingerprint="not-" + session.fingerprint(),
+        signature=session.crash_signature(),
+        bug=name + "-ghost", strategy="chessX+dep", tries=1, total_steps=1,
+        plan=(PlannedPreemption(thread="zz-thread", kind="acquire",
+                                lock="zz-lock", occurrence=0,
+                                switch_to="zz-thread"),))
+    # chaff under another fault kind: gated out before scoring
+    other_kind = "assert" if dump.failure.kind != "assert" else "null-deref"
+    kb = KnowledgeBase(tmp_path / ("%s-miss.json" % name))
+    kb.record([unmappable,
+               make_case(fingerprint="chaff-1", kind=other_kind),
+               make_case(fingerprint="chaff-2", kind=other_kind, pc=99)])
+    return kb
+
+
+def _variant_config(variant, name, tmp_path):
+    if variant == "disabled":
+        return ReproductionConfig(**_CONFIG_KW)
+    if variant == "empty":
+        return ReproductionConfig(
+            kb_path=str(tmp_path / ("%s-empty.json" % name)), **_CONFIG_KW)
+    if variant == "all-miss":
+        return ReproductionConfig(kb_path=str(_all_miss_kb(name, tmp_path).path),
+                                  **_CONFIG_KW)
+    raise AssertionError(variant)
+
+
+def outcomes_for(name, variant, tmp_path):
+    key = (name, variant)
+    if key not in _OUTCOMES:
+        scenario, bundle, dump = _failure_dump(name)
+        session = ReproSession(bundle,
+                               config=_variant_config(variant, name, tmp_path),
+                               failure_dump=dump,
+                               input_overrides=scenario.input_overrides)
+        _OUTCOMES[key] = ({s: session.search(s) for s in STRATEGIES}, session)
+    return _OUTCOMES[key]
+
+
+@pytest.fixture(scope="module")
+def kb_root(tmp_path_factory):
+    return tmp_path_factory.mktemp("kb-equivalence")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("variant", ("empty", "all-miss"))
+def test_non_contributing_kb_is_byte_identical(name, strategy, variant,
+                                               kb_root):
+    cold, _ = outcomes_for(name, "disabled", kb_root)
+    warm, session = outcomes_for(name, variant, kb_root)
+    assert_identical(cold[strategy], warm[strategy],
+                     (name, strategy, variant))
+    # the physical cost split must match too: no hidden extra testruns
+    assert cold[strategy].executed_steps == warm[strategy].executed_steps, \
+        (name, strategy, variant)
+    assert session.kb_warm_counts[strategy] == 0, (name, strategy, variant)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_all_miss_kb_was_actually_retrieved(name, kb_root):
+    """The adversarial variant exercises retrieval, not an early bail."""
+    _, session = outcomes_for(name, "all-miss", kb_root)
+    assert set(session.kb_retrieval_layers.values()) <= {"near", "miss"}
+    # the ghost case carries the scenario's own signature: at least the
+    # near layer must have fired somewhere, or the variant tests nothing
+    assert "near" in session.kb_retrieval_layers.values(), \
+        session.kb_retrieval_layers

@@ -1,0 +1,89 @@
+"""Report forward-compatibility: newer writers must not break this reader.
+
+``repro.report/1.x`` documents may grow fields this build does not know
+about — a newer minor version annotating stages, or an external tool
+enriching stored reports.  ``from_json`` must ignore unknown keys at the
+top level *and inside every nested stage document* instead of exploding
+on an unexpected keyword argument.  Schema *major* mismatches still
+reject (that path is covered in ``test_session.py``).
+
+Also pins the ``tries_by_size`` key type: JSON objects stringify int
+keys, so decoding must restore them as ints and keep doing so across a
+double round-trip.
+"""
+
+import json
+
+import pytest
+
+from repro.bugs import get_scenario
+from repro.pipeline import ProgramBundle, ReproSession, ReproductionReport
+
+
+@pytest.fixture(scope="module")
+def report_doc():
+    scenario = get_scenario("fig1")
+    session = ReproSession(ProgramBundle(scenario.build()),
+                           expected_kind=scenario.expected_fault)
+    session.acquire_failure()
+    return json.loads(session.report().to_json())
+
+
+def _enriched(doc):
+    """The doc as a newer writer might emit it: unknowns everywhere."""
+    doc = json.loads(json.dumps(doc))  # deep copy
+    doc["x_new_top_level"] = {"nested": True}
+    doc["config"]["x_new_knob"] = 42
+    doc["timings"]["x_stage_gpu_seconds"] = 0.0
+    doc["failure"]["x_core_file"] = "core.1234"
+    doc["alignment"]["x_confidence"] = 0.99
+    for entry in doc["index"]:
+        entry["x_annotation"] = "hot"
+    for outcome in doc["searches"].values():
+        outcome["x_search_host"] = "repro-worker-7"
+        for planned in outcome["plan"]:
+            planned["x_reason"] = "csv g.x"
+    return doc
+
+
+def test_unknown_fields_everywhere_are_ignored(report_doc):
+    baseline = ReproductionReport.from_json(json.dumps(report_doc))
+    enriched = ReproductionReport.from_json(json.dumps(_enriched(report_doc)))
+    assert enriched.bug == baseline.bug
+    assert enriched.failure.signature() == baseline.failure.signature()
+    assert enriched.alignment.status == baseline.alignment.status
+    assert [e.describe() for e in enriched.index] \
+        == [e.describe() for e in baseline.index]
+    for strategy, outcome in baseline.searches.items():
+        other = enriched.searches[strategy]
+        assert other.plan == outcome.plan
+        assert other.tries == outcome.tries
+        assert other.reproduced == outcome.reproduced
+    assert enriched.config.strategy_names() == baseline.config.strategy_names()
+    assert enriched.timings == baseline.timings
+
+
+def test_enriched_report_re_serializes_cleanly(report_doc):
+    """Unknowns are dropped, not round-tripped: output is this schema."""
+    enriched = ReproductionReport.from_json(json.dumps(_enriched(report_doc)))
+    doc = json.loads(enriched.to_json())
+    assert "x_new_top_level" not in doc
+    assert "x_new_knob" not in doc["config"]
+    assert all("x_reason" not in p
+               for o in doc["searches"].values() for p in o["plan"])
+
+
+def test_tries_by_size_keys_round_trip_as_ints(report_doc):
+    report = ReproductionReport.from_json(json.dumps(report_doc))
+    sizes = {s: o.tries_by_size for s, o in report.searches.items()}
+    assert any(sizes.values())  # the fixture actually searched
+    for outcome in report.searches.values():
+        assert all(isinstance(k, int) for k in outcome.tries_by_size)
+    # JSON stringifies the keys on the wire...
+    doc = json.loads(report.to_json())
+    for outcome in doc["searches"].values():
+        assert all(isinstance(k, str) for k in outcome["tries_by_size"])
+    # ...and a double round-trip keeps restoring ints with equal values
+    twice = ReproductionReport.from_json(
+        ReproductionReport.from_json(json.dumps(doc)).to_json())
+    assert {s: o.tries_by_size for s, o in twice.searches.items()} == sizes
