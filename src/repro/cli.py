@@ -54,6 +54,10 @@ def _build_parser():
                      help="with --kb: record but do not warm-start")
     run.add_argument("--no-record", action="store_true",
                      help="with --kb: warm-start but do not record")
+    run.add_argument("--fault-plan", metavar="SPEC", default=None,
+                     help="deterministic fault-injection spec for the "
+                          "supervised pool, e.g. 'seed=7;kinds=kill,hang;"
+                          "rate=0.25' (testing the robustness layer)")
 
     lst = sub.add_parser("list", help="list registered scenarios")
     lst.add_argument("--tags", nargs="*", default=(),
@@ -73,6 +77,13 @@ def _build_parser():
                        help="record every completed report into this index")
     batch.add_argument("--workers", type=int, default=1)
     batch.add_argument("--seed-stop", type=int, default=8000, metavar="N")
+    batch.add_argument("--fault-plan", metavar="SPEC", default=None,
+                       help="deterministic fault-injection spec for the "
+                            "supervised pool (testing the robustness layer)")
+    batch.add_argument("--exec-stats", metavar="PATH", default=None,
+                       help="write aggregated supervision counters "
+                            "(retries, quarantines, rebuilds, degradations) "
+                            "as JSON here")
 
     kb = sub.add_parser("kb", help="knowledge-base index stats/maintenance")
     kb.add_argument("--kb", metavar="PATH", required=True)
@@ -95,11 +106,27 @@ def _build_parser():
     return parser
 
 
-def _session_config(kb_path=None, warmstart=True, record=True, workers=1):
+def _session_config(kb_path=None, warmstart=True, record=True, workers=1,
+                    fault_plan=None):
     from .pipeline import ReproductionConfig
 
     return ReproductionConfig(kb_path=kb_path, kb_warmstart=warmstart,
-                              kb_record=record, search_workers=max(1, workers))
+                              kb_record=record,
+                              search_workers=max(1, workers),
+                              fault_plan=fault_plan)
+
+
+def _print_exec_stats(doc, indent=""):
+    """One supervision summary line (plus degradation notes) from a doc."""
+    print("%ssupervision: %d retried, %d quarantined, %d pool rebuild(s), "
+          "%d deadline expiries, %d degraded, %d fault(s) injected"
+          % (indent, doc.get("retries", 0), doc.get("quarantined", 0),
+             doc.get("pool_rebuilds", 0), doc.get("deadline_expiries", 0),
+             doc.get("degraded", 0), doc.get("faults_injected", 0)))
+    for note in doc.get("notes", ()):
+        print("%s  degraded [%s] %s: %s"
+              % (indent, note.get("stage"), note.get("reason"),
+                 note.get("detail")))
 
 
 def _cmd_run(args):
@@ -108,7 +135,8 @@ def _cmd_run(args):
     config = _session_config(kb_path=args.kb,
                              warmstart=not args.no_warmstart,
                              record=not args.no_record,
-                             workers=args.workers)
+                             workers=args.workers,
+                             fault_plan=args.fault_plan)
     session = ReproSession.from_scenario(
         args.scenario, config=config,
         stress_seeds=range(args.seed_stop) if args.seed_stop else None)
@@ -128,6 +156,9 @@ def _cmd_run(args):
     if args.kb and not args.no_record:
         added = session.record_to_kb()
         print("knowledge base %s: %d new case(s)" % (args.kb, added))
+    stats = session.exec_stats
+    if stats.any_recovery() or stats.faults_injected:
+        _print_exec_stats(stats.to_doc())
     reproduced = all(session.search(s).reproduced for s in strategies)
     return 0 if reproduced else 1
 
@@ -143,10 +174,34 @@ def _cmd_list(args):
     return 0
 
 
+def _aggregate_exec_stats(batch):
+    """Driver + per-scenario supervision counters of one batch, as docs."""
+    from .exec import ExecStats
+
+    total = ExecStats().merge_doc(batch.exec_stats.to_doc())
+    scenarios = {}
+    for name, report in batch.reports.items():
+        timings = report.timings
+        doc = {
+            "retries": timings.exec_retries,
+            "quarantined": timings.exec_quarantined,
+            "pool_rebuilds": timings.exec_pool_rebuilds,
+            "deadline_expiries": timings.exec_deadline_expiries,
+            "faults_injected": timings.exec_faults_injected,
+            "degraded": timings.exec_degraded,
+            "notes": list(timings.degraded_notes),
+        }
+        scenarios[name] = doc
+        total.merge_doc(doc)
+    return {"driver": batch.exec_stats.to_doc(), "scenarios": scenarios,
+            "total": total.to_doc()}
+
+
 def _cmd_batch(args):
     from .pipeline import run_many
 
-    config = _session_config(kb_path=args.kb, workers=1)
+    config = _session_config(kb_path=args.kb, workers=1,
+                             fault_plan=args.fault_plan)
     batch = run_many(scenarios=args.names, config=config,
                      workers=args.workers,
                      stress_seed_stop=args.seed_stop,
@@ -162,6 +217,16 @@ def _cmd_batch(args):
         print("%-24s %s%s" % (name, verdicts, dedup))
     for name, error in batch.errors.items():
         print("%-24s ERROR: %s" % (name, error))
+    stats_doc = _aggregate_exec_stats(batch)
+    if any(stats_doc["total"].get(key, 0) for key in
+           ("retries", "quarantined", "pool_rebuilds", "deadline_expiries",
+            "faults_injected", "degraded")):
+        _print_exec_stats(stats_doc["total"])
+    if args.exec_stats:
+        with open(args.exec_stats, "w", encoding="utf-8") as fh:
+            json.dump(stats_doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("supervision counters written to %s" % args.exec_stats)
     print("%d scenario(s), %d error(s), %.1fs"
           % (len(batch.reports), len(batch.errors), batch.wall_seconds))
     return 1 if batch.errors else 0

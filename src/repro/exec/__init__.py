@@ -1,0 +1,65 @@
+"""Fault-tolerant execution: supervision over the shared process pool.
+
+The reproduction pipeline fans work out over a persistent process pool
+(:func:`repro.search.parallel.shared_pool`) at three layers — plan-level
+schedule search, stress seed sweeps, and scenario-level batches.  A pool
+worker is not immortal: it can be OOM-killed mid-shard, wedge on a
+pathological schedule, return a blob that does not unpickle, or die in
+its initializer.  This package makes every one of those failures a
+recoverable event instead of a lost batch:
+
+* :mod:`.backoff` — the codebase's one bounded-retry/exponential-backoff
+  implementation (deterministic jitter, no ``PYTHONHASHSEED`` leaks);
+* :mod:`.faults` — a seed-deterministic :class:`FaultPlan` that injects
+  worker kills, hangs, corrupted result blobs, and initializer failures
+  at reproducible points, so every recovery path is property-testable;
+* :mod:`.supervisor` — the :class:`Supervisor` wrapping pool submission
+  with per-task deadlines, heartbeat liveness checks, bounded retry,
+  automatic pool rebuild, poisoned-task quarantine (serial in-process
+  re-run), and structured degradation notes.
+"""
+
+from .backoff import backoff_delay, backoff_delays, call_with_backoff, seed_int
+from .faults import (
+    CORRUPT_RESULT,
+    FAULT_KINDS,
+    HANG_WORKER,
+    INIT_FAILURE,
+    KILL_WORKER,
+    FaultInstruction,
+    FaultPlan,
+    corrupt_or,
+    maybe_inject,
+)
+from .supervisor import (
+    ExecStats,
+    ExecutionDegraded,
+    SupervisedTask,
+    Supervisor,
+    SupervisionPolicy,
+    policy_from_config,
+    record_degradation,
+)
+
+__all__ = [
+    "CORRUPT_RESULT",
+    "ExecStats",
+    "ExecutionDegraded",
+    "FAULT_KINDS",
+    "FaultInstruction",
+    "FaultPlan",
+    "HANG_WORKER",
+    "INIT_FAILURE",
+    "KILL_WORKER",
+    "SupervisedTask",
+    "Supervisor",
+    "SupervisionPolicy",
+    "backoff_delay",
+    "backoff_delays",
+    "call_with_backoff",
+    "corrupt_or",
+    "maybe_inject",
+    "policy_from_config",
+    "record_degradation",
+    "seed_int",
+]

@@ -1,0 +1,82 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+This is the codebase's *single* backoff implementation: the pool
+supervisor's resubmission gates, the KB store's NFS-flake retries, and
+anything else that wants "try again, a little later, a bounded number of
+times" all route through here.
+
+Jitter is deterministic: callers pass a seed (usually via
+:func:`seed_int` over stable identifiers like a task key and attempt
+number), so two runs of the same workload back off identically —
+property tests can assert timing-adjacent behaviour without flakes.
+The seed derivation uses SHA-256, never the builtin ``hash``, so
+``PYTHONHASHSEED`` cannot leak into retry schedules.
+"""
+
+import hashlib
+import time
+
+
+def seed_int(*parts):
+    """A stable 63-bit integer seed from arbitrary identifying parts."""
+    digest = hashlib.sha256(
+        "|".join(repr(part) for part in parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def backoff_delay(attempt, base_s=0.05, factor=2.0, max_s=2.0, jitter=0.25,
+                  seed=None):
+    """Seconds to wait before retry number ``attempt`` (0-based).
+
+    The deterministic core is ``min(max_s, base_s * factor**attempt)``;
+    ``jitter`` adds up to that fraction again, drawn from ``seed`` so
+    the same (seed, attempt) always waits the same time — decorrelating
+    concurrent retriers without nondeterminism.
+    """
+    delay = min(max_s, base_s * (factor ** attempt))
+    if jitter:
+        unit = (seed_int(seed, attempt) % (2 ** 32)) / 2.0 ** 32
+        delay *= 1.0 + jitter * unit
+    return delay
+
+
+def backoff_delays(retries, base_s=0.05, factor=2.0, max_s=2.0, jitter=0.25,
+                   seed=None):
+    """The full ladder of delays a ``retries``-bounded loop would sleep."""
+    return [backoff_delay(attempt, base_s=base_s, factor=factor, max_s=max_s,
+                          jitter=jitter, seed=seed)
+            for attempt in range(retries)]
+
+
+def call_with_backoff(fn, retries=3, retry_on=(OSError,), base_s=0.05,
+                      factor=2.0, max_s=2.0, jitter=0.25, seed=None,
+                      giveup=None, sleep=time.sleep, on_retry=None):
+    """Call ``fn()``, retrying transient failures a bounded number of times.
+
+    Parameters
+    ----------
+    retries:
+        Maximum *re*-tries after the first attempt; the final failure is
+        re-raised unchanged.
+    retry_on:
+        Exception classes considered transient.
+    giveup:
+        Optional predicate; a matching exception for which
+        ``giveup(exc)`` is true is re-raised immediately (e.g. a
+        ``FileNotFoundError`` inside a broad ``OSError`` retry).
+    on_retry:
+        Optional ``callable(attempt, exc)`` observer, called before each
+        backoff sleep.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt >= retries or (giveup is not None and giveup(exc)):
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(backoff_delay(attempt, base_s=base_s, factor=factor,
+                                max_s=max_s, jitter=jitter, seed=seed))
+            attempt += 1

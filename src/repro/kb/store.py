@@ -26,12 +26,19 @@ import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..exec.backoff import call_with_backoff, seed_int
 from ..search.base import plan_fingerprint
 from ..search.preemption import PlannedPreemption
 from .signature import CrashSignature
 
 #: Version tag of the KB index schema.
 KB_SCHEMA = "repro.kb/1"
+
+#: Transient-``OSError`` retry budget for index reads/writes (NFS-style
+#: flakes); the delays come from :mod:`repro.exec.backoff` — the one
+#: backoff implementation in the codebase.
+IO_RETRIES = 3
+IO_BACKOFF_BASE_S = 0.05
 
 
 @dataclass
@@ -122,11 +129,25 @@ class KBStore:
                     KBStoreWarning, stacklevel=2)
         return cases
 
+    def _read_text(self):
+        """The raw index text, retrying transient ``OSError`` flakes.
+
+        A vanished file is not transient (a concurrent compaction or a
+        cold index) — it propagates immediately and the caller degrades
+        to a cold start.
+        """
+        return call_with_backoff(
+            lambda: self.path.read_text(encoding="utf-8"),
+            retries=IO_RETRIES, retry_on=(OSError,),
+            base_s=IO_BACKOFF_BASE_S,
+            giveup=lambda exc: isinstance(exc, FileNotFoundError),
+            seed=seed_int("kb-read", str(self.path)))
+
     def _load_doc(self):
         if not self.path.exists():
             return {"schema": KB_SCHEMA, "cases": []}
         try:
-            doc = json.loads(self.path.read_text(encoding="utf-8"))
+            doc = json.loads(self._read_text())
         except (ValueError, OSError) as exc:
             warnings.warn(
                 "KB index %s is unreadable (%s); starting cold"
@@ -197,15 +218,28 @@ class KBStore:
         return len(kept), len(cases) - len(kept)
 
     def _write(self, cases):
-        """Atomically replace the index with ``cases``."""
+        """Atomically replace the index with ``cases``.
+
+        The temp-file write and the replace are one retried unit: a
+        transient ``OSError`` (NFS-style flake) re-runs the whole write,
+        and the atomic ``os.replace`` still guarantees readers only ever
+        observe a complete index.
+        """
         doc = {"schema": KB_SCHEMA,
                "cases": [case.to_doc() for case in cases]}
-        self.path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
         tmp = self.path.with_name(
             ".%s.tmp.%d" % (self.path.name, os.getpid()))
-        tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
-                       encoding="utf-8")
-        os.replace(tmp, self.path)
+
+        def write_once():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(text, encoding="utf-8")
+            os.replace(tmp, self.path)
+
+        call_with_backoff(
+            write_once, retries=IO_RETRIES, retry_on=(OSError,),
+            base_s=IO_BACKOFF_BASE_S,
+            seed=seed_int("kb-write", str(self.path)))
 
     # -- the best-effort lock file ---------------------------------------------
 

@@ -11,7 +11,13 @@ bit-identical to serial ones — workers only change the wall clock.
 Reports cross the process boundary as their versioned JSON documents
 (:meth:`~repro.pipeline.report.ReproductionReport.to_json`), which keeps
 the worker protocol storable and language-agnostic; a failed scenario is
-captured as an error string instead of poisoning the batch.
+captured as a structured :class:`BatchError` — stage, exception type,
+full worker traceback — instead of poisoning the batch.
+
+Scenario dispatch is supervised (:mod:`repro.exec`): a scenario lost to
+a dead, hung, or corrupt worker is retried with backoff, quarantined to
+an in-process run after the retry budget, and at worst recorded as a
+structured degradation on ``BatchResult.exec_stats``.
 
 Scenario tasks run on the same shared process pool as plan-level
 parallel search (:func:`repro.search.parallel.shared_pool`), so both
@@ -27,13 +33,40 @@ to serial — nested pools never oversubscribe the machine.
 
 import dataclasses
 import time
-from concurrent.futures import FIRST_COMPLETED, wait
+import traceback
 from dataclasses import dataclass, field
 
+from ..exec.faults import corrupt_or, maybe_inject
+from ..exec.supervisor import (
+    ExecStats,
+    Supervisor,
+    policy_from_config,
+    record_degradation,
+)
 from ..kb import program_fingerprint
-from ..search.parallel import in_worker, shared_pool
+from ..search.parallel import in_worker
 from .config import ReproductionConfig
 from .report import ReproductionReport
+
+
+@dataclass
+class BatchError:
+    """One scenario's failure, with enough context to debug it.
+
+    ``stage`` names the pipeline phase that raised (``resolve``,
+    ``stress``, ``analyze``, ``diff``, ``report``, ``kb`` — or ``exec``
+    for supervision-level failures that never reached the session).
+    """
+
+    name: str
+    stage: str
+    exc_type: str
+    message: str
+    traceback: str = ""
+
+    def __str__(self):
+        return "%s [stage=%s]: %s" % (self.exc_type, self.stage,
+                                      self.message)
 
 
 @dataclass
@@ -42,14 +75,17 @@ class BatchResult:
 
     #: scenario name -> ReproductionReport, insertion-ordered as requested
     reports: dict[str, ReproductionReport] = field(default_factory=dict)
-    #: scenario name -> error message for scenarios that raised
-    errors: dict[str, str] = field(default_factory=dict)
+    #: scenario name -> :class:`BatchError` for scenarios that raised
+    errors: dict[str, BatchError] = field(default_factory=dict)
     #: duplicate submission -> canonical scenario it was deduped to
     #: (identical program fingerprint: the duplicate's report is the
     #: canonical one re-labelled, not a second full session)
     deduped: dict[str, str] = field(default_factory=dict)
     workers: int = 1
     wall_seconds: float = 0.0
+    #: supervised-execution counters of the batch *driver* itself
+    #: (per-session counters live in each report's ``timings``)
+    exec_stats: ExecStats = field(default_factory=ExecStats)
 
     def __iter__(self):
         return iter(self.reports.items())
@@ -61,12 +97,24 @@ class BatchResult:
         return [report.table4_row() for report in self.reports.values()]
 
     def raise_errors(self):
-        """Raise if any scenario failed; returns self otherwise."""
+        """Raise if any scenario failed; returns self otherwise.
+
+        The message carries each failure's stage and exception type, and
+        appends every captured worker traceback in full.
+        """
         if self.errors:
-            details = "; ".join("%s: %s" % item
-                                for item in sorted(self.errors.items()))
-            raise RuntimeError("run_many failed on %d scenario(s): %s"
-                               % (len(self.errors), details))
+            items = sorted(self.errors.items(), key=lambda kv: kv[0])
+            details = "; ".join("%s: %s" % (name, error)
+                                for name, error in items)
+            tracebacks = "\n".join(
+                "--- %s ---\n%s" % (name, error.traceback)
+                for name, error in items
+                if getattr(error, "traceback", ""))
+            message = ("run_many failed on %d scenario(s): %s"
+                       % (len(self.errors), details))
+            if tracebacks:
+                message = "%s\n%s" % (message, tracebacks)
+            raise RuntimeError(message)
         return self
 
 
@@ -74,27 +122,43 @@ def _scenario_name(scenario):
     return scenario if isinstance(scenario, str) else scenario.name
 
 
-def _run_one(name, config, stress_seed_stop):
+def _run_one(name, config, stress_seed_stop, fault=None):
     """Worker body: full session for one registered scenario.
 
     Returns ``(name, report_json, error)``.  Module-level so it pickles
     for the process pool; the scenario is re-resolved from the registry
     inside the worker (scenario build callables need not pickle).
+    The stages run explicitly (instead of letting :meth:`report` drive
+    them) so a failure is attributed to the phase that raised it.
+    ``fault`` is a supervisor-injected instruction, honored only inside
+    pool workers.
     """
     from .session import ReproSession
 
+    maybe_inject(fault)
+    stage = "resolve"
     try:
         seeds = None if stress_seed_stop is None else range(stress_seed_stop)
         session = ReproSession.from_scenario(name, config=config,
                                              stress_seeds=seeds)
+        stage = "stress"
+        session.acquire_failure()
+        stage = "analyze"
+        session.analyze_dump()
+        stage = "diff"
+        session.diff_and_prioritize()
+        stage = "report"
         report_json = session.report().to_json()
+        stage = "kb"
         # every completed report feeds the knowledge base (no-op unless
         # the config names an index); workers append through the store's
         # lock + atomic replace, so concurrent sessions never clobber
         session.record_to_kb()
-        return name, report_json, None
+        return corrupt_or(fault, (name, report_json, None))
     except Exception as exc:  # noqa: BLE001 — batch isolates per-bug failures
-        return name, None, "%s: %s" % (type(exc).__name__, exc)
+        return name, None, BatchError(
+            name=name, stage=stage, exc_type=type(exc).__name__,
+            message=str(exc), traceback=traceback.format_exc())
 
 
 def _fingerprint_scenarios(names):
@@ -178,26 +242,54 @@ def run_many(scenarios=None, config=None, workers=None, stress_seed_stop=8000,
                 for name in run_names]
     else:
         # the shared pool may be larger than this batch's worker budget
-        # (another caller grew it); keep at most ``workers`` scenarios
-        # in flight so the requested concurrency is actually honored
-        pool = shared_pool(result.workers)
+        # (another caller grew it); the supervisor keeps at most
+        # ``workers`` scenarios in flight so the requested concurrency
+        # is actually honored, and a scenario lost to a dead, hung, or
+        # corrupt worker is retried and finally re-run in-process —
+        # never silently dropped
+        policy = policy_from_config(config, stats=result.exec_stats)
+        supervisor = Supervisor(result.workers, policy, stage="batch")
         queue = iter(run_names)
-        in_flight = set()
+        name_of = {}
         by_name = {}
+
+        def valid_row(name):
+            def validate(row):
+                return (isinstance(row, tuple) and len(row) == 3
+                        and row[0] == name)
+            return validate
 
         def submit_next():
             name = next(queue, None)
             if name is not None:
-                in_flight.add(
-                    pool.submit(_run_one, name, config, stress_seed_stop))
+                task = supervisor.submit(
+                    _run_one, name, config, stress_seed_stop,
+                    key=name,
+                    deadline_s=policy.deadline_for(1),
+                    validate=valid_row(name))
+                name_of[task] = name
 
         for _ in range(result.workers):
             submit_next()
-        while in_flight:
-            done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
-            for future in done:
-                row = future.result()
-                by_name[row[0]] = row
+        while True:
+            finished = supervisor.wait_any()
+            if not finished:
+                break
+            for task in finished:
+                name = name_of[task]
+                if task.failed:
+                    # even the in-process quarantine re-run failed:
+                    # degrade this one scenario to a structured error
+                    # instead of sinking the batch
+                    record_degradation(result.exec_stats, "batch",
+                                       "task-failed",
+                                       "%s: %s" % (name, task.error))
+                    by_name[name] = (name, None, BatchError(
+                        name=name, stage="exec",
+                        exc_type=type(task.error).__name__,
+                        message=str(task.error)))
+                else:
+                    by_name[name] = tuple(task.result)
                 submit_next()
         rows = [by_name[name] for name in run_names]
 

@@ -62,6 +62,22 @@ class ReproductionConfig:
     kb_record: bool = True
     #: cap on retrieved plans spliced ahead of the ranking per search
     kb_max_warm_plans: int = 16
+    #: wall deadline (seconds) per supervised work unit (a plan of a
+    #: search shard, a stress chunk, a batch scenario); None derives a
+    #: deadline from recorded step counts where a hint exists and
+    #: otherwise waits indefinitely (the pre-supervision behaviour)
+    shard_deadline_s: float | None = None
+    #: pool attempts per supervised task before it is quarantined to a
+    #: serial in-process re-run (0 quarantines on the first failure)
+    max_shard_retries: int = 3
+    #: first-retry backoff (seconds); later retries grow geometrically
+    #: with deterministic jitter (see :mod:`repro.exec.backoff`)
+    backoff_base_s: float = 0.05
+    #: deterministic fault-injection spec for the supervised pool, e.g.
+    #: ``"seed=7;kinds=kill,hang;rate=0.25"`` (see
+    #: :meth:`repro.exec.faults.FaultPlan.parse`); None disables
+    #: injection — production default
+    fault_plan: str | None = None
 
     def __post_init__(self):
         self.heuristics = tuple(self.heuristics)
@@ -85,6 +101,15 @@ class ReproductionConfig:
             raise ValueError("search_shard_size must be >= 1 or None")
         if self.kb_max_warm_plans < 1:
             raise ValueError("kb_max_warm_plans must be >= 1")
+        if self.shard_deadline_s is not None and self.shard_deadline_s <= 0:
+            raise ValueError("shard_deadline_s must be > 0 or None")
+        if self.max_shard_retries < 0:
+            raise ValueError("max_shard_retries must be >= 0")
+        if self.backoff_base_s <= 0:
+            raise ValueError("backoff_base_s must be > 0")
+        # a bad spec string should fail here, not deep inside a sweep
+        from ..exec.faults import FaultPlan
+        FaultPlan.parse(self.fault_plan)
         return self
 
     def strategy_names(self):

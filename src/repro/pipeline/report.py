@@ -31,12 +31,14 @@ from .config import ReproductionConfig
 #: Version tag of the JSON report schema.  Bump the minor on additive
 #: changes (older documents still parse), the major on breaking ones;
 #: :func:`ReproductionReport.from_json` rejects documents it cannot read.
-SCHEMA_VERSION = "repro.report/1.1"
+SCHEMA_VERSION = "repro.report/1.2"
 
 #: Every schema this build can read.  ``repro.report/1`` documents
-#: predate the per-stage timing and ``memo_hits`` fields, which decode
-#: to their defaults.
-READABLE_SCHEMAS = frozenset({"repro.report/1", SCHEMA_VERSION})
+#: predate the per-stage timing and ``memo_hits`` fields, ``1.1`` ones
+#: the supervised-execution counters; absent fields decode to their
+#: defaults.
+READABLE_SCHEMAS = frozenset({"repro.report/1", "repro.report/1.1",
+                              SCHEMA_VERSION})
 
 
 @dataclass
@@ -46,7 +48,9 @@ class PhaseTimings:
     The ``*_s`` stage fields (schema 1.1) are the session's cumulative
     wall clock per pipeline stage — stress, dump analysis, diff +
     prioritization, and schedule search — with the search additionally
-    broken down per strategy.
+    broken down per strategy.  The ``exec_*`` counters (schema 1.2)
+    aggregate the supervised pool's recovery activity across those
+    stages; all zero on a clean run.
     """
 
     reverse_index_s: float = 0.0
@@ -59,6 +63,15 @@ class PhaseTimings:
     diff_s: float = 0.0
     search_s: float = 0.0
     search_by_strategy: dict = field(default_factory=dict)
+    # supervised-execution counters (schema 1.2, additive)
+    exec_retries: int = 0
+    exec_quarantined: int = 0
+    exec_pool_rebuilds: int = 0
+    exec_deadline_expiries: int = 0
+    exec_faults_injected: int = 0
+    exec_degraded: int = 0
+    #: structured DegradedExecution notes: {stage, reason, detail} dicts
+    degraded_notes: list = field(default_factory=list)
 
 
 @dataclass

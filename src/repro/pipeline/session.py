@@ -39,6 +39,7 @@ from uuid import uuid4
 from ..coredump.compare import compare_dumps
 from ..coredump.dump import take_core_dump
 from ..coredump.serialize import dump_from_json, dump_to_json
+from ..exec.supervisor import ExecStats, policy_from_config
 from ..indexing.index import Index
 from ..indexing.align import AlignmentResult
 from ..indexing.reverse import reverse_engineer_index
@@ -197,6 +198,11 @@ class ReproSession:
         #: stage name -> cumulative wall seconds actually spent in it
         self.stage_wall_s = {"stress": 0.0, "analyze": 0.0, "diff": 0.0,
                              "search": 0.0}
+        #: supervised-execution counters (retries, quarantines, pool
+        #: rebuilds, degradations) accumulated across this session's
+        #: parallel stages; surfaced through :meth:`timings`
+        self.exec_stats = ExecStats()
+        self._supervision = None
 
     @classmethod
     def from_scenario(cls, scenario, config=None, failure_dump=None,
@@ -232,6 +238,18 @@ class ReproSession:
         """
         return self._failure_dump
 
+    def supervision(self):
+        """The session's pool-supervision policy (config-derived).
+
+        One policy — and one :class:`ExecStats` — spans every parallel
+        stage of the session, so retry/degradation counters in the
+        report aggregate stress sweeps and all searches.
+        """
+        if self._supervision is None:
+            self._supervision = policy_from_config(self.config,
+                                                   stats=self.exec_stats)
+        return self._supervision
+
     def acquire_failure(self):
         """The failure core dump, stress testing once if none was given."""
         if self._failure_dump is None:
@@ -241,7 +259,8 @@ class ReproSession:
                                       seeds=self.stress_seeds,
                                       expected_kind=self.expected_kind,
                                       workers=self.config.stress_workers,
-                                      use_blocks=self.config.block_exec)
+                                      use_blocks=self.config.block_exec,
+                                      supervision=self.supervision())
             self.stage_wall_s["stress"] += self.stress.wall_seconds
             self._failure_dump = self.stress.dump
         return self._failure_dump
@@ -403,10 +422,14 @@ class ReproSession:
             self._candidate_counts[name] = ctx.last_candidate_count
             self._warm_start(name, search)
             workers = self.config.search_workers
+            # the recorded passing run bounds one testrun's schedule
+            # length; the supervisor derives per-shard deadlines from it
             self._searches[name] = run_search(
                 search, workers=workers,
                 spec=self.worker_spec() if workers > 1 else None,
-                shard_size=self.config.search_shard_size)
+                shard_size=self.config.search_shard_size,
+                supervision=self.supervision(),
+                deadline_hint=len(self.analyze_dump().events))
             self.stage_wall_s["search"] += time.perf_counter() - stage_start
         return self._searches[name]
 
@@ -554,6 +577,14 @@ class ReproSession:
         timings.search_by_strategy = {
             name: outcome.wall_seconds
             for name, outcome in self._searches.items()}
+        stats = self.exec_stats
+        timings.exec_retries = stats.retries
+        timings.exec_quarantined = stats.quarantined
+        timings.exec_pool_rebuilds = stats.pool_rebuilds
+        timings.exec_deadline_expiries = stats.deadline_expiries
+        timings.exec_faults_injected = stats.faults_injected
+        timings.exec_degraded = stats.degraded
+        timings.degraded_notes = list(stats.notes)
         return timings
 
     def report(self):

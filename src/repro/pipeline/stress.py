@@ -17,16 +17,28 @@ locally so the returned :class:`StressResult` — dump, execution,
 ``runs_tried``, failing ``RunResult`` — is byte-identical to the serial
 sweep's.  Inside a pool worker the sweep degrades to serial instead of
 nesting pools.
+
+Chunk dispatch is supervised (:mod:`repro.exec`): a chunk lost to a
+dead, hung, or corrupt worker is retried with backoff, quarantined to an
+in-process run after the retry budget, and — as the last rung — the
+whole sweep falls back to the serial loop with a structured degradation
+note.
 """
 
 import pickle
 import time
 from collections import OrderedDict
-from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass
 from typing import Optional
 
 from ..coredump.dump import take_core_dump
+from ..exec.faults import corrupt_or, maybe_inject
+from ..exec.supervisor import (
+    ExecutionDegraded,
+    SupervisionPolicy,
+    Supervisor,
+    record_degradation,
+)
 from ..lang.errors import SearchError
 from ..runtime.scheduler import MulticoreScheduler
 
@@ -108,14 +120,17 @@ def _bundle_for(spec_blob):
     return entry
 
 
-def run_stress_chunk(spec_blob, chunk):
+def run_stress_chunk(spec_blob, chunk, fault=None):
     """Pool-worker entry: try ``[(position, seed), ...]`` in order.
 
-    Returns the first qualifying ``(position, seed)`` — the chunk is a
-    contiguous ascending slice of the sweep, so its first hit is its
-    best — or None.  Dumps and executions stay worker-side; the driver
-    re-runs the winning seed locally (deterministic, so byte-identical).
+    Returns the first qualifying ``(position, seed)`` as a one-element
+    list — the chunk is a contiguous ascending slice of the sweep, so
+    its first hit is its best — or ``[]``.  Dumps and executions stay
+    worker-side; the driver re-runs the winning seed locally
+    (deterministic, so byte-identical).  ``fault`` is a
+    supervisor-injected instruction, honored only inside pool workers.
     """
+    maybe_inject(fault)
     bundle, spec = _bundle_for(spec_blob)
     for position, seed in chunk:
         _execution, _result, qualifies = _attempt(
@@ -123,8 +138,8 @@ def run_stress_chunk(spec_blob, chunk):
             spec.expected_pc, spec.switch_prob, spec.instrument_loops,
             use_blocks=None)
         if qualifies:
-            return (position, seed)
-    return None
+            return corrupt_or(fault, [(position, seed)])
+    return corrupt_or(fault, [])
 
 
 # ---------------------------------------------------------------------------
@@ -133,13 +148,17 @@ def run_stress_chunk(spec_blob, chunk):
 
 def stress_test(bundle, input_overrides=None, seeds=None, expected_kind=None,
                 expected_pc=None, switch_prob=0.3, instrument_loops=True,
-                workers=1, use_blocks=None):
+                workers=1, use_blocks=None, supervision=None):
     """Run under random interleavings until the expected failure appears.
 
     ``expected_kind``/``expected_pc`` restrict which failure counts as
     "the" bug (matching the bug report); any failure qualifies when both
     are None.  ``workers > 1`` parallelizes the sweep over the shared
-    pool with serial-identical results (lowest failing seed wins).
+    pool with serial-identical results (lowest failing seed wins), under
+    the ``supervision`` policy (dead/hung workers retried, then
+    quarantined); if supervised execution exhausts every recovery rung
+    the sweep degrades to the serial loop below, recording a structured
+    note on the policy's stats.
     """
     if seeds is None:
         seeds = range(0, 2000)
@@ -151,12 +170,21 @@ def stress_test(bundle, input_overrides=None, seeds=None, expected_kind=None,
                                     instrument_loops, use_blocks)
         from ..search.parallel import in_worker
         if spec_blob is not None and not in_worker() and len(seeds) > 1:
-            return _parallel_stress(
-                bundle, seeds, spec_blob, workers, start,
-                input_overrides=input_overrides,
-                expected_kind=expected_kind, expected_pc=expected_pc,
-                switch_prob=switch_prob, instrument_loops=instrument_loops,
-                use_blocks=use_blocks)
+            policy = supervision if supervision is not None \
+                else SupervisionPolicy()
+            try:
+                return _parallel_stress(
+                    bundle, seeds, spec_blob, workers, start,
+                    input_overrides=input_overrides,
+                    expected_kind=expected_kind, expected_pc=expected_pc,
+                    switch_prob=switch_prob,
+                    instrument_loops=instrument_loops,
+                    use_blocks=use_blocks, policy=policy)
+            except ExecutionDegraded as exc:
+                # graceful degradation: the serial sweep below is the
+                # ground truth the parallel one reduces to anyway
+                record_degradation(policy.stats, exc.stage, exc.reason,
+                                   exc.detail)
     runs = 0
     for seed in seeds:
         runs += 1
@@ -197,27 +225,31 @@ def _picklable_spec(bundle, input_overrides, expected_kind, expected_pc,
 
 def _parallel_stress(bundle, seeds, spec_blob, workers, start,
                      input_overrides, expected_kind, expected_pc,
-                     switch_prob, instrument_loops, use_blocks):
+                     switch_prob, instrument_loops, use_blocks, policy=None):
     """Sharded sweep with a deterministic lowest-position reduction."""
-    from ..search.parallel import shared_pool
-
+    policy = policy if policy is not None else SupervisionPolicy()
     chunk_size = max(1, min(64, len(seeds) // (workers * 8) or 1))
     chunks = [[(i, seeds[i]) for i in range(lo, min(lo + chunk_size,
                                                     len(seeds)))]
               for lo in range(0, len(seeds), chunk_size)]
-    pool = shared_pool(workers)
-    outcomes = {}            # chunk index -> (position, seed) or None
-    futures = {}             # future -> chunk index
+    supervisor = Supervisor(workers, policy, stage="stress")
+    outcomes = {}            # chunk index -> [(position, seed)] or []
+    chunk_of = {}            # task -> chunk index
     next_chunk = 0
     earliest_hit = None      # lowest chunk index with a qualifying seed
+
+    def valid_chunk(result):
+        return (isinstance(result, list)
+                and all(isinstance(hit, tuple) and len(hit) == 2
+                        for hit in result))
 
     def winner_so_far():
         """The hit all of whose predecessor chunks resolved empty."""
         for idx in range(len(chunks)):
             if idx not in outcomes:
                 return None
-            if outcomes[idx] is not None:
-                return outcomes[idx]
+            if outcomes[idx]:
+                return outcomes[idx][0]
         return None
 
     try:
@@ -226,19 +258,24 @@ def _parallel_stress(bundle, seeds, spec_blob, workers, start,
             # chunks beyond it can never lower the winner, and all
             # chunks before it are already in flight
             while earliest_hit is None and next_chunk < len(chunks) \
-                    and len(futures) < workers * 2:
-                future = pool.submit(run_stress_chunk, spec_blob,
-                                     chunks[next_chunk])
-                futures[future] = next_chunk
+                    and len(supervisor.active()) < workers * 2:
+                chunk = chunks[next_chunk]
+                task = supervisor.submit(
+                    run_stress_chunk, spec_blob, chunk,
+                    key=next_chunk,
+                    deadline_s=policy.deadline_for(len(chunk)),
+                    validate=valid_chunk)
+                chunk_of[task] = next_chunk
                 next_chunk += 1
-            if not futures:
+            finished = supervisor.wait_any()
+            if not finished:
                 break
-            done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
-            for future in done:
-                idx = futures.pop(future)
-                outcomes[idx] = future.result()
-                if outcomes[idx] is not None and (earliest_hit is None
-                                                  or idx < earliest_hit):
+            for task in finished:
+                supervisor.raise_if_failed(task)
+                idx = chunk_of[task]
+                outcomes[idx] = task.result
+                if outcomes[idx] and (earliest_hit is None
+                                      or idx < earliest_hit):
                     earliest_hit = idx
             hit = winner_so_far()
             if hit is not None:
@@ -256,12 +293,12 @@ def _parallel_stress(bundle, seeds, spec_blob, workers, start,
                     wall_seconds=time.perf_counter() - start,
                     result=result, execution=execution, dump=dump)
             if earliest_hit is not None:
-                for future, idx in list(futures.items()):
-                    if idx > earliest_hit and future.cancel():
-                        futures.pop(future)
+                for task in supervisor.active():
+                    if chunk_of[task] > earliest_hit:
+                        task.cancel()
     finally:
-        for future in futures:
-            future.cancel()
+        for task in supervisor.active():
+            task.cancel()
     raise SearchError(
         "no failing interleaving found for %s in %d runs"
         % (bundle.name, len(seeds)))

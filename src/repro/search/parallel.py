@@ -38,17 +38,34 @@ The session's cross-strategy :class:`~repro.search.base.TestrunMemo` is
 consulted in a driver-side pre-pass — duplicate plans are served without
 dispatch — and every completed run (including speculative ones) is
 folded back in, so chess warms the memo for chessX and vice versa.
+
+Dispatch is *supervised* (:mod:`repro.exec`): shards carry deadlines
+derived from the recorded step counts, dead or hung workers trigger a
+pool rebuild and a backed-off resubmission, a shard that keeps failing
+is quarantined to a serial in-process re-run, and if even that fails the
+whole search degrades gracefully to the serial path.  Because every
+recovery re-executes the same pure plan→outcome function, the reduction
+below sees byte-identical inputs regardless of how many workers died.
 """
 
 import atexit
 import os
 import pickle
+import signal
+import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Optional
 
+from ..exec.faults import corrupt_or, maybe_inject, raise_if_init_fault_armed
+from ..exec.supervisor import (
+    ExecutionDegraded,
+    SupervisionPolicy,
+    Supervisor,
+    record_degradation,
+)
 from ..runtime.interpreter import ExecutionStatus
 from .base import MemoEntry, SearchOutcome, plan_fingerprint
 from .preemption import PreemptingScheduler
@@ -90,6 +107,51 @@ def in_worker():
 
 def _worker_init():
     os.environ[_IN_WORKER_ENV] = "1"
+    raise_if_init_fault_armed()
+
+
+def _pool_alive(pool):
+    """Whether a pool can still be trusted with new submissions."""
+    if pool is None:
+        return False
+    if getattr(pool, "_broken", False):
+        return False
+    if getattr(pool, "_shutdown_thread", False):
+        return False
+    processes = getattr(pool, "_processes", None)
+    if processes:
+        for proc in list(processes.values()):
+            if not proc.is_alive():
+                return False
+    return True
+
+
+def shared_pool_healthy():
+    """Whether the cached shared pool (if any) is alive and submittable."""
+    return _pool_alive(_pool)
+
+
+def _kill_pool_workers(pool):
+    """Terminate a pool's worker processes (hung workers included)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            if proc.is_alive():
+                proc.terminate()
+        except Exception:  # pragma: no cover - racing process teardown
+            pass
+
+
+def _retire_pool(pool, kill=False):
+    """Let go of a pool: gracefully on grow, forcibly on failure."""
+    if pool is None:
+        return
+    if kill:
+        _kill_pool_workers(pool)
+        pool.shutdown(wait=False, cancel_futures=True)
+    else:
+        # a healthy-but-small pool finishes its in-flight work
+        pool.shutdown(wait=False)
 
 
 def shared_pool(workers):
@@ -98,30 +160,97 @@ def shared_pool(workers):
     The pool is created lazily and only ever grows (an old, smaller pool
     is retired without cancelling its in-flight work).  Callers bound
     their own concurrency by how much they submit; the pool size caps
-    what actually runs at once.  A pool whose workers died (OOM kill,
-    segfault) is detected and replaced, so one broken batch never
-    poisons parallelism for the rest of the process.
+    what actually runs at once.  A cached pool is validated before
+    reuse — broken (``BrokenProcessPool``), shut down, or holding dead
+    worker processes (OOM kill, segfault) all mean it is killed and
+    replaced, so one broken batch never poisons parallelism for the rest
+    of the process.
     """
     global _pool, _pool_workers
     workers = max(1, workers)
-    broken = _pool is not None and getattr(_pool, "_broken", False)
-    if _pool is None or broken or _pool_workers < workers:
+    alive = _pool_alive(_pool)
+    if _pool is None or not alive or _pool_workers < workers:
         old = _pool
         _pool_workers = max(workers, _pool_workers)
         _pool = ProcessPoolExecutor(max_workers=_pool_workers,
                                     initializer=_worker_init)
+        _install_signal_shutdown()
         if old is not None:
-            old.shutdown(wait=False)
+            _retire_pool(old, kill=not alive)
     return _pool
 
 
-def shutdown_shared_pool():
-    """Tear the shared pool down (tests and interpreter exit)."""
+def rebuild_shared_pool(workers=None):
+    """Force-replace the shared pool, terminating its workers.
+
+    The supervisor's recovery primitive: after a worker kill, a blown
+    deadline (the only way to reclaim a slot from a wedged worker), or a
+    poisoned initializer, the old executor cannot be trusted — its
+    workers are terminated outright and a fresh pool takes over.
+    """
     global _pool, _pool_workers
-    if _pool is not None:
-        _pool.shutdown(wait=False, cancel_futures=True)
+    workers = max(1, workers or _pool_workers or default_worker_budget())
+    old = _pool
     _pool = None
     _pool_workers = 0
+    _retire_pool(old, kill=True)
+    return shared_pool(workers)
+
+
+def shutdown_shared_pool(kill=False):
+    """Tear the shared pool down (tests, signals, interpreter exit)."""
+    global _pool, _pool_workers
+    pool = _pool
+    _pool = None
+    _pool_workers = 0
+    if pool is not None:
+        if kill:
+            _kill_pool_workers(pool)
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+_signal_shutdown_installed = False
+
+
+def _install_signal_shutdown():
+    """Make SIGTERM/SIGINT reap pool workers before their usual effect.
+
+    A cancelled CI job (SIGTERM) or an interactive Ctrl-C must not leak
+    orphan interpreter processes.  Handlers chain to whatever was
+    installed before, so default semantics (process death, and
+    ``KeyboardInterrupt`` for SIGINT) are preserved.  Installed lazily at
+    first pool creation, main thread only.
+    """
+    global _signal_shutdown_installed
+    if _signal_shutdown_installed or in_worker():
+        return
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def _chained(previous):
+        def handler(signum, frame):
+            # forked pool workers inherit this handler; inside one, the
+            # copied executor state must not be touched (terminating
+            # "its" workers would signal siblings and can deadlock the
+            # worker instead of letting it die) — restore the default
+            # disposition and re-deliver
+            if not in_worker():
+                shutdown_shared_pool(kill=True)
+                if callable(previous):
+                    previous(signum, frame)
+                    return
+                if previous == signal.SIG_IGN:
+                    return
+            signal.signal(signum, signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+        return handler
+
+    try:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, _chained(signal.getsignal(signum)))
+    except (ValueError, OSError):  # pragma: no cover - exotic embeddings
+        return
+    _signal_shutdown_installed = True
 
 
 atexit.register(shutdown_shared_pool)
@@ -220,7 +349,7 @@ def _context_for(spec_blob):
     return ctx
 
 
-def run_shard(spec_blob, shard):
+def run_shard(spec_blob, shard, fault=None):
     """Pool-worker entry: run ``[(index, plan), ...]``, return results.
 
     ``spec_blob`` is the driver's once-pickled :class:`WorkerSessionSpec`
@@ -228,7 +357,13 @@ def run_shard(spec_blob, shard):
     per shard.  Mirrors :meth:`ScheduleSearchBase.testrun` exactly —
     same scheduler, same replay resume, same honest step accounting —
     minus the search bookkeeping, which the driver reconstructs.
+
+    ``fault`` is a supervisor-injected
+    :class:`~repro.exec.faults.FaultInstruction`, honored only inside
+    pool workers — a quarantined serial re-run of the same shard is
+    always fault-free.
     """
+    maybe_inject(fault)
     ctx = _context_for(spec_blob)
     out = []
     for index, plan in shard:
@@ -245,30 +380,52 @@ def run_shard(spec_blob, shard):
                    if result.status == ExecutionStatus.FAILED else None)
         out.append(ShardRun(index=index, steps=result.steps, failure=failure,
                             executed=executed, skipped=resumed))
-    return out
+    return corrupt_or(fault, out)
 
 
 # ---------------------------------------------------------------------------
 # driver side
 # ---------------------------------------------------------------------------
 
-def run_search(search, workers=1, spec=None, shard_size=None):
+def run_search(search, workers=1, spec=None, shard_size=None,
+               supervision=None, deadline_hint=None):
     """Run ``search`` with serial-identical outcomes, possibly sharded.
 
     ``workers <= 1`` (or a missing/unpicklable ``spec``, or being inside
     a pool worker already) is *exactly* the serial path — zero overhead
     over :meth:`ScheduleSearchBase.search`.
+
+    ``supervision`` is an optional
+    :class:`~repro.exec.supervisor.SupervisionPolicy`;  ``deadline_hint``
+    is the recorded step count of one testrun (the failing run's
+    schedule length), from which per-shard deadlines are derived.  If
+    supervised execution exhausts every recovery rung the search
+    *degrades*: a structured note is recorded on the policy's stats and
+    the serial path — whose outcome parallel search is byte-identical to
+    anyway — runs instead.
     """
     if workers <= 1 or spec is None or in_worker():
         return search.search()
-    return _parallel_search(search, spec, workers, shard_size)
+    policy = supervision if supervision is not None else SupervisionPolicy()
+    try:
+        return _parallel_search(search, spec, workers, shard_size,
+                                policy=policy, deadline_hint=deadline_hint)
+    except ExecutionDegraded as exc:
+        # _parallel_search folds memo entries and search accounting only
+        # at the very end, so at this point ``search`` is untouched and
+        # the serial re-run starts from the same state a cold serial
+        # search would.
+        record_degradation(policy.stats, exc.stage, exc.reason, exc.detail)
+        return search.search()
 
 
 _EXHAUSTED = object()
 
 
-def _parallel_search(search, spec, workers, shard_size=None):
+def _parallel_search(search, spec, workers, shard_size=None, policy=None,
+                     deadline_hint=None):
     start = time.perf_counter()
+    policy = policy if policy is not None else SupervisionPolicy()
     memo = search.memo
     target = search.target_signature
     # pickled once; every shard submission ships the same opaque bytes
@@ -332,17 +489,28 @@ def _parallel_search(search, spec, workers, shard_size=None):
     # fan the misses out in contiguous ascending shards; sizes ramp
     # geometrically (1 -> MAX_SHARD_SIZE, doubling once per wave of
     # ``workers`` shards, or pinned by ``shard_size``) so early winners
-    # cost one tiny round-trip and deep sweeps amortize dispatch
-    pool = None
-    futures = {}
+    # cost one tiny round-trip and deep sweeps amortize dispatch.
+    # Submission goes through a Supervisor: a shard that comes back from
+    # a dead, hung, or lying worker is retried (and finally quarantined
+    # to an in-process run) without the reduction ever noticing.
+    supervisor = Supervisor(workers, policy, stage="search")
+    shards_of = {}        # task -> its ascending index list
     size = shard_size or 1
     issued = 0
     cutoff_on_wall = False
     stopped = False
 
+    def valid_shard(expect):
+        def validate(result):
+            return (isinstance(result, list)
+                    and len(result) == len(expect)
+                    and all(isinstance(run, ShardRun) for run in result)
+                    and [run.index for run in result] == expect)
+        return validate
+
     def dispatch():
-        nonlocal pool, size, issued, stopped
-        while len(futures) < workers and not stopped:
+        nonlocal size, issued, stopped
+        while len(supervisor.active()) < workers and not stopped:
             pull(size)
             if best is not None:
                 while pending and pending[-1] > best:
@@ -355,27 +523,31 @@ def _parallel_search(search, spec, workers, shard_size=None):
             issued += 1
             if shard_size is None and issued % max(1, workers) == 0:
                 size = min(size * 2, MAX_SHARD_SIZE)
-            if pool is None:
-                pool = shared_pool(workers)
-            futures[pool.submit(
-                run_shard, spec_blob,
-                [(i, plans[i]) for i in shard])] = shard
+            task = supervisor.submit(
+                run_shard, spec_blob, [(i, plans[i]) for i in shard],
+                key=shard[0],
+                deadline_s=policy.deadline_for(len(shard), deadline_hint),
+                validate=valid_shard(list(shard)))
+            shards_of[task] = shard
 
     dispatch()
-    while futures:
-        done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
-        for future in done:
-            futures.pop(future)
-            for run in future.result():
+    while True:
+        finished = supervisor.wait_any()
+        if not finished:
+            break
+        for task in finished:
+            supervisor.raise_if_failed(task)
+            for run in task.result:
                 results[run.index] = run
                 if wins(run) and (best is None or run.index < best):
                     best = run.index
         if best is not None:
-            # shards wholly past the winner can never matter: cancel the
-            # ones that have not started (running ones finish harmlessly)
-            for future, shard in list(futures.items()):
-                if shard[0] > best and future.cancel():
-                    futures.pop(future)
+            # shards wholly past the winner can never matter; their
+            # results would be discarded by the reduction anyway, so
+            # cancelling unconditionally is safe
+            for task in supervisor.active():
+                if shards_of[task][0] > best:
+                    task.cancel()
         if best is None and not cutoff_on_wall \
                 and time.perf_counter() - start > search.max_seconds:
             # mirror the serial wall-clock cutoff: stop starting new

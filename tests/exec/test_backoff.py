@@ -1,0 +1,117 @@
+"""The single backoff implementation: determinism, bounds, retry budget."""
+
+import pytest
+
+from repro.exec.backoff import (
+    backoff_delay,
+    backoff_delays,
+    call_with_backoff,
+    seed_int,
+)
+
+
+def test_seed_int_is_deterministic_and_discriminating():
+    assert seed_int("search", 0) == seed_int("search", 0)
+    assert seed_int("search", 0) != seed_int("search", 1)
+    assert seed_int("search", 0) != seed_int("stress", 0)
+    # 63-bit: always a non-negative int that fits a signed 64-bit slot
+    assert 0 <= seed_int("x") < 2 ** 63
+    # str vs int parts must not collide (repr-based derivation)
+    assert seed_int("0") != seed_int(0)
+
+
+def test_backoff_delay_core_is_geometric_and_capped():
+    for attempt in range(8):
+        delay = backoff_delay(attempt, base_s=0.05, factor=2.0, max_s=2.0,
+                              jitter=0.0)
+        assert delay == min(2.0, 0.05 * 2.0 ** attempt)
+
+
+def test_backoff_delay_jitter_is_bounded_and_deterministic():
+    for attempt in range(6):
+        core = min(2.0, 0.05 * 2.0 ** attempt)
+        a = backoff_delay(attempt, seed=7)
+        b = backoff_delay(attempt, seed=7)
+        assert a == b  # same (seed, attempt) -> same wait
+        assert core <= a <= core * 1.25
+    # different seeds decorrelate
+    draws = {backoff_delay(3, seed=s) for s in range(16)}
+    assert len(draws) > 1
+
+
+def test_backoff_delays_matches_per_attempt_calls():
+    ladder = backoff_delays(4, base_s=0.01, seed=3)
+    assert ladder == [backoff_delay(a, base_s=0.01, seed=3)
+                      for a in range(4)]
+
+
+def test_call_with_backoff_retries_then_succeeds():
+    calls = []
+    slept = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise OSError("transient")
+        return "done"
+
+    result = call_with_backoff(flaky, retries=3, base_s=0.01, seed=11,
+                               sleep=slept.append)
+    assert result == "done"
+    assert len(calls) == 3
+    # the two sleeps are exactly the deterministic ladder's first rungs
+    assert slept == backoff_delays(2, base_s=0.01, seed=11)
+
+
+def test_call_with_backoff_exhausts_budget_and_reraises():
+    calls = []
+
+    def always_fails():
+        calls.append(1)
+        raise OSError("still broken")
+
+    with pytest.raises(OSError, match="still broken"):
+        call_with_backoff(always_fails, retries=2, base_s=0.001,
+                          sleep=lambda _s: None)
+    assert len(calls) == 3  # first attempt + 2 retries
+
+
+def test_call_with_backoff_giveup_short_circuits():
+    calls = []
+    slept = []
+
+    def vanished():
+        calls.append(1)
+        raise FileNotFoundError("gone")
+
+    with pytest.raises(FileNotFoundError):
+        call_with_backoff(vanished, retries=5, retry_on=(OSError,),
+                          giveup=lambda exc: isinstance(exc,
+                                                        FileNotFoundError),
+                          sleep=slept.append)
+    assert len(calls) == 1
+    assert slept == []
+
+
+def test_call_with_backoff_only_catches_retry_on():
+    def typo():
+        raise ValueError("not transient")
+
+    with pytest.raises(ValueError):
+        call_with_backoff(typo, retries=5, retry_on=(OSError,),
+                          sleep=lambda _s: None)
+
+
+def test_call_with_backoff_on_retry_observer():
+    seen = []
+
+    def flaky():
+        if len(seen) < 2:
+            raise OSError("flake %d" % len(seen))
+        return "ok"
+
+    call_with_backoff(flaky, retries=3, base_s=0.001,
+                      sleep=lambda _s: None,
+                      on_retry=lambda attempt, exc: seen.append(
+                          (attempt, str(exc))))
+    assert seen == [(0, "flake 0"), (1, "flake 1")]

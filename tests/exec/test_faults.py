@@ -1,0 +1,151 @@
+"""The deterministic fault-injection plan and its worker-side honoring."""
+
+import pytest
+
+from repro.exec.faults import (
+    CORRUPT_BLOB,
+    CORRUPT_RESULT,
+    FAULT_KINDS,
+    HANG_WORKER,
+    KILL_WORKER,
+    FaultInstruction,
+    FaultPlan,
+    arm_init_fault,
+    corrupt_or,
+    disarm_init_fault,
+    maybe_inject,
+    raise_if_init_fault_armed,
+)
+
+_IN_WORKER_ENV = "REPRO_POOL_WORKER"
+_INIT_FAULT_ENV = "REPRO_FAULT_INIT"
+
+
+# -- spec parsing -----------------------------------------------------------
+
+def test_parse_none_and_empty_disable_injection():
+    assert FaultPlan.parse(None) is None
+    assert FaultPlan.parse("") is None
+    assert FaultPlan.parse("   ") is None
+
+
+def test_parse_passes_plans_through():
+    plan = FaultPlan(seed=3, kinds=(KILL_WORKER,))
+    assert FaultPlan.parse(plan) is plan
+
+
+def test_parse_full_spec():
+    plan = FaultPlan.parse(
+        "seed=7;kinds=kill,hang;rate=0.25;hang_s=30;at=search:0,batch:fig1")
+    assert plan == FaultPlan(seed=7, kinds=(KILL_WORKER, HANG_WORKER),
+                             rate=0.25, hang_s=30.0,
+                             at=(("search", "0"), ("batch", "fig1")))
+
+
+def test_spec_round_trips():
+    for spec in ("seed=0",
+                 "seed=7;kinds=kill,hang;rate=0.25",
+                 "seed=2;kinds=corrupt;hang_s=5",
+                 "seed=1;at=search:0,stress:12"):
+        plan = FaultPlan.parse(spec)
+        assert FaultPlan.parse(plan.to_spec()) == plan
+
+
+@pytest.mark.parametrize("bad", [
+    "seed",                    # not key=value
+    "seed=7;color=red",        # unknown field
+    "kinds=explode",           # unknown fault kind
+    "kinds=",                  # no kinds left
+    "rate=1.5",                # out of [0, 1]
+    "at=searchzero",           # target missing stage:key
+])
+def test_parse_rejects_bad_specs(bad):
+    with pytest.raises(ValueError):
+        FaultPlan.parse(bad)
+
+
+# -- the injection decision -------------------------------------------------
+
+def test_faults_fire_only_on_first_attempts():
+    plan = FaultPlan(seed=0, rate=1.0)
+    assert plan.instruction_for("search", 0, attempt=0) is not None
+    for attempt in (1, 2, 3):
+        assert plan.instruction_for("search", 0, attempt) is None
+
+
+def test_decision_is_pure_in_seed_stage_key():
+    plan = FaultPlan(seed=5, rate=0.5)
+    for key in range(32):
+        first = plan.instruction_for("search", key, 0)
+        again = plan.instruction_for("search", key, 0)
+        assert first == again
+    # a different seed redraws the schedule
+    other = FaultPlan(seed=6, rate=0.5)
+    decisions = [plan.instruction_for("search", k, 0) for k in range(64)]
+    redrawn = [other.instruction_for("search", k, 0) for k in range(64)]
+    assert decisions != redrawn
+
+
+def test_rate_bounds_the_injection_fraction():
+    always = FaultPlan(seed=0, rate=1.0)
+    never = FaultPlan(seed=0, rate=0.0)
+    half = FaultPlan(seed=0, rate=0.5)
+    hits = sum(1 for k in range(200)
+               if half.instruction_for("stress", k, 0) is not None)
+    assert all(always.instruction_for("stress", k, 0) for k in range(50))
+    assert not any(never.instruction_for("stress", k, 0) for k in range(50))
+    assert 60 <= hits <= 140  # ~rate, SHA-256-uniform
+
+
+def test_at_targets_override_rate():
+    plan = FaultPlan(seed=0, rate=0.0, at=(("search", "0"),))
+    assert plan.instruction_for("search", 0, 0) is not None  # despite rate 0
+    assert plan.instruction_for("search", 1, 0) is None
+    assert plan.instruction_for("stress", 0, 0) is None      # wrong stage
+
+
+def test_kinds_restrict_what_is_injected():
+    plan = FaultPlan(seed=0, kinds=(CORRUPT_RESULT,), rate=1.0, hang_s=9.0)
+    for key in range(16):
+        fault = plan.instruction_for("batch", key, 0)
+        assert fault == FaultInstruction(kind=CORRUPT_RESULT, hang_s=9.0)
+    varied = {FaultPlan(seed=0, rate=1.0).instruction_for("batch", k, 0).kind
+              for k in range(64)}
+    assert varied == set(FAULT_KINDS)
+
+
+# -- worker-side honoring ---------------------------------------------------
+
+def test_maybe_inject_is_a_noop_in_the_driver(monkeypatch):
+    monkeypatch.delenv(_IN_WORKER_ENV, raising=False)
+    # a kill instruction outside a pool worker must NOT exit the process
+    maybe_inject(FaultInstruction(kind=KILL_WORKER))
+    maybe_inject(None)
+
+
+def test_corrupt_or_only_corrupts_inside_workers(monkeypatch):
+    fault = FaultInstruction(kind=CORRUPT_RESULT)
+    monkeypatch.delenv(_IN_WORKER_ENV, raising=False)
+    assert corrupt_or(fault, "real") == "real"   # driver / quarantine path
+    assert corrupt_or(None, "real") == "real"
+    monkeypatch.setenv(_IN_WORKER_ENV, "1")
+    assert corrupt_or(fault, "real") == CORRUPT_BLOB
+    assert corrupt_or(FaultInstruction(kind=KILL_WORKER), "real") == "real"
+
+
+def test_hang_honored_in_worker_sleeps_for_hang_s(monkeypatch):
+    monkeypatch.setenv(_IN_WORKER_ENV, "1")
+    slept = []
+    monkeypatch.setattr("repro.exec.faults.time.sleep", slept.append)
+    maybe_inject(FaultInstruction(kind=HANG_WORKER, hang_s=12.5))
+    assert slept == [12.5]
+
+
+def test_init_fault_arming_round_trip(monkeypatch):
+    monkeypatch.delenv(_INIT_FAULT_ENV, raising=False)
+    raise_if_init_fault_armed()  # disarmed: no-op
+    arm_init_fault()
+    with pytest.raises(RuntimeError, match="initializer"):
+        raise_if_init_fault_armed()
+    disarm_init_fault()
+    raise_if_init_fault_armed()

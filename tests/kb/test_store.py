@@ -174,3 +174,62 @@ def test_recorded_cases_get_timestamps(tmp_path):
     case = make_case(saved_at=0.0)
     kb.record([case], now=123.0)
     assert kb.cases()[0].saved_at == 123.0
+
+
+# -- transient-IO retries (the repro.exec.backoff integration) --------------
+
+def test_append_retries_transient_write_flakes(store, monkeypatch):
+    real_replace = os.replace
+    flakes = []
+
+    def flaky_replace(src, dst):
+        if len(flakes) < 2:
+            flakes.append(1)
+            raise OSError("NFS-style flake")
+        return real_replace(src, dst)
+
+    monkeypatch.setattr("repro.kb.store.os.replace", flaky_replace)
+    monkeypatch.setattr("repro.exec.backoff.time.sleep", lambda _s: None)
+    assert store.append([make_case()]) == 1
+    assert len(flakes) == 2
+    assert len(store.load()) == 1  # the retried write landed whole
+
+
+def test_load_retries_transient_read_flakes(store, monkeypatch):
+    store.append([make_case()])
+    real_read_text = type(store.path).read_text
+    flakes = []
+
+    def flaky_read_text(self, *args, **kwargs):
+        if self == store.path and len(flakes) < 2:
+            flakes.append(1)
+            raise OSError("NFS-style flake")
+        return real_read_text(self, *args, **kwargs)
+
+    monkeypatch.setattr(type(store.path), "read_text", flaky_read_text)
+    monkeypatch.setattr("repro.exec.backoff.time.sleep", lambda _s: None)
+    assert len(store.load()) == 1
+    assert len(flakes) == 2
+
+
+def test_write_gives_up_after_the_retry_budget(store, monkeypatch):
+    monkeypatch.setattr("repro.kb.store.os.replace",
+                        lambda src, dst: (_ for _ in ()).throw(
+                            OSError("permanently broken")))
+    monkeypatch.setattr("repro.exec.backoff.time.sleep", lambda _s: None)
+    with pytest.raises(OSError, match="permanently broken"):
+        store.append([make_case()])
+
+
+def test_vanished_index_is_not_retried(store, monkeypatch):
+    """FileNotFoundError gives up immediately: a cold index is a state,
+    not a flake — load degrades to [] without burning the retry budget."""
+    slept = []
+    monkeypatch.setattr("repro.exec.backoff.time.sleep", slept.append)
+    exists = type(store.path).exists
+    monkeypatch.setattr(type(store.path), "exists",
+                        lambda self: True if self == store.path
+                        else exists(self))
+    with pytest.warns(KBStoreWarning, match="starting cold"):
+        assert store.load() == []
+    assert slept == []

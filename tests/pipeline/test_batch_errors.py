@@ -1,0 +1,38 @@
+"""Structured batch failures: stage attribution and worker tracebacks."""
+
+import pytest
+
+from repro.pipeline import run_many
+from repro.pipeline.batch import BatchError
+
+
+def _failing_batch(workers):
+    batch = run_many(["fig1", "no-such-bug"], workers=workers)
+    assert "fig1" in batch.reports
+    return batch.errors["no-such-bug"]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_errors_are_structured_with_stage_and_traceback(workers):
+    error = _failing_batch(workers)
+    assert isinstance(error, BatchError)
+    assert error.name == "no-such-bug"
+    # the unknown scenario dies while resolving against the registry,
+    # before any pipeline stage runs
+    assert error.stage == "resolve"
+    assert error.exc_type
+    assert "no-such-bug" in error.message
+    # the full worker-side traceback crossed the process boundary
+    assert "Traceback (most recent call last)" in error.traceback
+    assert str(error).startswith("%s [stage=resolve]" % error.exc_type)
+
+
+def test_raise_errors_carries_the_tracebacks():
+    batch = run_many(["no-such-bug"], workers=1)
+    with pytest.raises(RuntimeError) as excinfo:
+        batch.raise_errors()
+    message = str(excinfo.value)
+    assert "run_many failed on 1 scenario(s)" in message
+    assert "[stage=resolve]" in message
+    assert "--- no-such-bug ---" in message
+    assert "Traceback (most recent call last)" in message

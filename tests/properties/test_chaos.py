@@ -1,0 +1,169 @@
+"""Chaos properties: every fault kind, byte-identical outcomes.
+
+The acceptance bar of the supervised execution layer: under every
+injected fault kind — worker kill, hang past deadline, corrupted result,
+initializer failure — guided search completes and its
+:class:`SearchOutcome` is *byte-identical* to the cold serial outcome,
+with the recovery visible in nonzero retry/fault counters (and zero
+degradations: the pool path itself must absorb the faults).
+
+``REPRO_FAULT_SEED`` (CI-matrixed) reseeds both the scenario sample and
+the injection schedule, so different runs fault different shards without
+ever becoming nondeterministic within a run.
+"""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.exec.faults import FAULT_KINDS, HANG_WORKER
+from repro.pipeline import ReproSession, ReproductionConfig, run_many
+
+from tests.search.test_parallel_equivalence import assert_identical
+
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+#: registered scenarios cheap enough to reproduce under pool churn
+_CANDIDATES = ("fig1", "apache-1", "mysql-1", "apache-2")
+STRATEGIES = ("chess", "chessX+dep")
+
+#: wall budgets high enough that outcomes cut off on tries, never wall
+_CONFIG_KW = dict(chess_max_seconds=10_000.0, chessx_max_seconds=10_000.0)
+
+
+def _sample(candidates, k, seed):
+    ranked = sorted(candidates, key=lambda name: hashlib.sha256(
+        ("%d|%s" % (seed, name)).encode("utf-8")).hexdigest())
+    return tuple(ranked[:k])
+
+
+NAMES = _sample(_CANDIDATES, 2, FAULT_SEED)
+
+_DUMPS = {}
+_SESSIONS = {}
+
+
+def _failure_dump(name):
+    if name not in _DUMPS:
+        session = ReproSession.from_scenario(
+            name, config=ReproductionConfig(**_CONFIG_KW),
+            stress_seeds=range(8000))
+        _DUMPS[name] = session.acquire_failure()
+    return _DUMPS[name]
+
+
+def _chaos_config(kind):
+    """A parallel config injecting exactly one fault kind.
+
+    A hang is targeted at the first shard of each search (key 0) with a
+    tiny per-unit deadline, so reclamation — not the 30s sleep — decides
+    the wall clock; every other kind fails fast and faults every shard.
+    """
+    if kind == HANG_WORKER:
+        plan = "seed=%d;kinds=hang;hang_s=30;at=search:0" % FAULT_SEED
+        deadline = 0.5
+    else:
+        plan = "seed=%d;kinds=%s;rate=1" % (FAULT_SEED, kind)
+        deadline = None
+    return ReproductionConfig(search_workers=2, fault_plan=plan,
+                              shard_deadline_s=deadline,
+                              backoff_base_s=0.01, **_CONFIG_KW)
+
+
+def _outcomes(name, kind):
+    """Both strategies, in canonical order (the memo is order-sensitive)."""
+    key = (name, kind)
+    if key not in _SESSIONS:
+        config = ReproductionConfig(**_CONFIG_KW) if kind == "serial" \
+            else _chaos_config(kind)
+        session = ReproSession.from_scenario(name, config=config,
+                                             failure_dump=_failure_dump(name))
+        _SESSIONS[key] = ({s: session.search(s) for s in STRATEGIES}, session)
+    return _SESSIONS[key]
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_outcomes_survive_every_fault_kind(name, kind, strategy):
+    serial, _ = _outcomes(name, "serial")
+    faulted, _ = _outcomes(name, kind)
+    assert_identical(serial[strategy], faulted[strategy],
+                     (name, kind, strategy))
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+def test_recovery_counters_are_nonzero_and_nondegraded(name, kind):
+    _outcomes(name, kind)
+    _, session = _SESSIONS[(name, kind)]
+    stats = session.exec_stats
+    assert stats.faults_injected > 0, (name, kind)
+    assert stats.retries + stats.quarantined > 0, (name, kind)
+    # the pool path itself absorbed every fault: no serial fallback
+    assert stats.degraded == 0, (name, kind, stats.notes)
+    if kind == "hang":
+        assert stats.deadline_expiries > 0
+    if kind in ("kill", "init"):
+        assert stats.pool_rebuilds > 0
+    if kind == "corrupt":
+        # every corrupt result is retried exactly once, nothing else
+        assert stats.retries == stats.faults_injected
+
+
+@pytest.mark.parametrize("name", NAMES[:1])
+def test_counters_surface_in_phase_timings(name):
+    _outcomes(name, "corrupt")
+    _, session = _SESSIONS[(name, "corrupt")]
+    timings = session.report().timings
+    stats = session.exec_stats
+    assert timings.exec_faults_injected == stats.faults_injected > 0
+    assert timings.exec_retries == stats.retries > 0
+    assert timings.exec_degraded == 0
+    assert timings.degraded_notes == []
+
+
+def test_stress_sweep_survives_faults():
+    """The parallel seed sweep converges on the serial failing seed."""
+    name = NAMES[0]
+    cold = ReproSession.from_scenario(
+        name, config=ReproductionConfig(**_CONFIG_KW),
+        stress_seeds=range(8000))
+    cold.acquire_failure()
+    plan = "seed=%d;kinds=kill,corrupt;rate=1" % FAULT_SEED
+    chaotic = ReproSession.from_scenario(
+        name, config=ReproductionConfig(stress_workers=2, fault_plan=plan,
+                                        backoff_base_s=0.01, **_CONFIG_KW),
+        stress_seeds=range(8000))
+    chaotic.acquire_failure()
+    assert chaotic.stress.seed == cold.stress.seed
+    assert chaotic.stress.dump.failure.signature() \
+        == cold.stress.dump.failure.signature()
+    stats = chaotic.exec_stats
+    assert stats.faults_injected > 0
+    assert stats.retries + stats.quarantined > 0
+    assert stats.degraded == 0
+
+
+def test_batch_survives_faults():
+    """run_many under scenario-level faults: same reports, no errors."""
+    plan = "seed=%d;kinds=kill,corrupt;rate=1" % FAULT_SEED
+    serial = run_many(list(NAMES), workers=1,
+                      config=ReproductionConfig(**_CONFIG_KW))
+    chaotic = run_many(list(NAMES), workers=2,
+                       config=ReproductionConfig(fault_plan=plan,
+                                                 backoff_base_s=0.01,
+                                                 **_CONFIG_KW))
+    assert chaotic.errors == {}
+    assert set(chaotic.reports) == set(serial.reports)
+    for name in serial.reports:
+        a, b = serial.reports[name], chaotic.reports[name]
+        assert set(a.searches) == set(b.searches)
+        for strategy in a.searches:
+            assert_identical(a.searches[strategy], b.searches[strategy],
+                             (name, strategy))
+    stats = chaotic.exec_stats
+    assert stats.faults_injected > 0
+    assert stats.retries + stats.quarantined > 0
+    assert stats.degraded == 0
