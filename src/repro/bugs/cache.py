@@ -1,0 +1,86 @@
+"""Hand-written deadlock scenario: cache lookup vs. stats-driven refill.
+
+A two-lock inversion dressed as a real server pattern.  The ``reader``
+thread services lookups: it takes ``cache_lock``, records a hit, then
+takes ``stat_lock`` to bump the access statistics.  The ``refiller``
+thread watches the statistics: it takes ``stat_lock`` first, updates
+them, then takes ``cache_lock`` to install fresh entries — the opposite
+order.  A third ``logger`` thread churns an unrelated ``log_lock``;
+it holds a single lock at a time, so it can never join a waits-for
+cycle and always drains, exercising full-wedge detection with a
+bystander alive (the acyclic-remainder path must still wait for it).
+
+``refiller`` stamps ``warm`` before its first acquire so the hung dump
+provably differs from the aligned passing dump; both inversion threads
+write ``stat`` inside the contended region, giving the dependence
+heuristic shared accesses to rank.
+"""
+
+from ..lang import builder as B
+from .registry import BugScenario, register
+
+#: lookup/refill rounds; the wedge can land in any of them
+ROUNDS = 5
+
+
+def build():
+    lookup = B.func("lookup", [], [
+        B.assign("probe", 0),
+        B.for_("i", 0, ROUNDS, [
+            B.acquire("cache_lock"),
+            B.assign("hits", B.add(B.v("hits"), 1)),
+            # hash probe widens the inversion window
+            B.assign("probe", B.mod(B.add(B.mul(B.v("probe"), 5),
+                                          B.v("i")), 64)),
+            B.acquire("stat_lock"),
+            B.assign("stat", B.add(B.v("stat"), 1)),
+            B.release("stat_lock"),
+            B.release("cache_lock"),
+        ]),
+    ])
+    refill = B.func("refill", [], [
+        # pre-lock stamp: proof in the dump diff that the refiller ran
+        B.assign("warm", 1),
+        B.for_("j", 0, ROUNDS, [
+            B.acquire("stat_lock"),
+            B.assign("stat", B.add(B.v("stat"), 2)),
+            B.acquire("cache_lock"),
+            B.assign("entries", B.add(B.v("entries"), 1)),
+            B.release("cache_lock"),
+            B.release("stat_lock"),
+        ]),
+    ])
+    logger = B.func("log_spin", [], [
+        B.for_("k", 0, ROUNDS, [
+            B.acquire("log_lock"),
+            B.assign("lines", B.add(B.v("lines"), 1)),
+            B.release("log_lock"),
+        ]),
+    ])
+    return B.program(
+        "cache-refill",
+        globals_={"hits": 0, "stat": 0, "entries": 0, "warm": 0,
+                  "lines": 0},
+        functions=[lookup, refill, logger],
+        threads=[B.thread("reader", "lookup"),
+                 B.thread("refiller", "refill"),
+                 B.thread("logger", "log_spin")],
+        locks=["cache_lock", "stat_lock", "log_lock"],
+    )
+
+
+register(BugScenario(
+    name="cache-refill",
+    paper_id="handwritten",
+    kind="deadlock",
+    description="Cache lookup (cache_lock->stat_lock) inverts against "
+                "stats-driven refill (stat_lock->cache_lock) while a "
+                "logger bystander keeps draining",
+    build=build,
+    expected_fault="deadlock",
+    crash_func="lookup",
+    notes="The logger holds one lock at a time, so the waits-for cycle is "
+          "exactly {reader, refiller}; detection must outlast the "
+          "draining bystander before declaring the wedge.",
+    tags=("handwritten", "deadlock", "hang"),
+))

@@ -1,7 +1,7 @@
 """Parameterized, seed-deterministic bug-family generator.
 
 The hand-written suite mirrors the paper's Table 2; this package grows
-the registry beyond it.  Four structurally distinct families — the
+the registry beyond it.  Five structurally distinct families — the
 shapes reproduction tooling must generalize over — are each
 parameterized over thread count, loop depth, shared-variable fan-out,
 padding-work length, and critical-section placement
@@ -10,7 +10,9 @@ padding-work length, and critical-section placement
 * ``atom`` — two-step atomicity violation (check/use split),
 * ``order`` — order violation / missed signal (publish before init),
 * ``mvar`` — multi-variable invariant torn across critical sections,
-* ``lock`` — lock-ordering discipline breakdown (split-lock race).
+* ``lock`` — lock-ordering discipline breakdown (split-lock race),
+* ``deadlock`` — ABBA lock-order inversion (hangs instead of crashing;
+  tagged ``hang``, reproduced by waits-for cycle signature).
 
 Every generated scenario honors the registry contract: the
 deterministic single-core run passes, some multicore interleaving
@@ -40,13 +42,14 @@ import random
 from functools import partial
 
 from ..registry import BugScenario, register, scenarios_by_tag
-from . import atom, lockorder, mvar, order
+from . import atom, deadlock, lockorder, mvar, order
 from .params import FamilySpec, SynthParams, derive_params
 
 #: family key -> FamilySpec, in stable registration order
 FAMILIES = {
     spec.key: spec
-    for spec in (atom.FAMILY, order.FAMILY, mvar.FAMILY, lockorder.FAMILY)
+    for spec in (atom.FAMILY, order.FAMILY, mvar.FAMILY, lockorder.FAMILY,
+                 deadlock.FAMILY)
 }
 
 DEFAULT_PER_FAMILY = 5
@@ -74,7 +77,7 @@ def make_scenario(family, seed):
               "padding=%d, cs_position=%d)"
               % (spec.title, params.threads, params.loop_depth,
                  params.fanout, params.padding, params.cs_position),
-        tags=("synth", family),
+        tags=("synth", family) + spec.extra_tags,
     )
 
 
@@ -104,11 +107,28 @@ def sample_names(count, seed=None):
     same scenarios everywhere.  ``seed`` defaults to the
     ``REPRO_SYNTH_SEED`` knob; the RNG is string-seeded, so the choice
     is stable across processes.
+
+    The sample is stratified by family: whenever ``count`` allows, at
+    least one variant of *every* family is included (a plain uniform
+    draw could skip a whole family — e.g. leave the ``deadlock`` hang
+    scenarios out of the CI smoke), with the remaining slots filled
+    uniformly from the rest.
     """
     seed = default_seed() if seed is None else seed
-    names = [s.name for s in scenarios_by_tag("synth")]
     rng = random.Random("repro-synth-sample/%d" % seed)
-    return sorted(rng.sample(names, min(count, len(names))))
+    names = [s.name for s in scenarios_by_tag("synth")]
+    count = min(count, len(names))
+    families = [f for f in FAMILIES if scenarios_by_tag("synth", f)]
+    if count < len(families):
+        families = rng.sample(families, count)
+    picked = set()
+    for family in families:
+        picked.add(rng.choice([s.name
+                               for s in scenarios_by_tag("synth", family)]))
+    rest = [n for n in names if n not in picked]
+    if count > len(picked):
+        picked.update(rng.sample(rest, count - len(picked)))
+    return sorted(picked)
 
 
 _registered = False

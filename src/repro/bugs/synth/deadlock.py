@@ -1,0 +1,121 @@
+"""Family ``deadlock``: lock-order inversion (ABBA hang).
+
+Two threads take the same pair of locks in opposite order: ``ab``
+(function ``forward``) acquires ``lock_a`` then ``lock_b``; ``ba``
+(function ``reverse``) acquires ``lock_b`` then ``lock_a``.  Padding
+between the two acquisitions widens the inversion window; any schedule
+that parks each thread inside the other's window wedges both on a
+waits-for cycle — the failure is the canonical cycle itself, not a
+crash PC.
+
+Both threads bump a shared ``both`` counter while holding ``lock_b``
+(their inner critical section), so the contended window carries
+critical-shared-variable accesses for the dependence-guided search;
+``ba`` additionally stamps a global ``mark`` before its first acquire,
+guaranteeing the hung dump differs from the aligned passing dump in at
+least one shared cell (at the wedge ``ba`` has started; at ``ab``'s
+aligned point of the non-preemptive passing run it has not).
+
+Parameter mapping: ``threads - 2`` bystander workers churn an unrelated
+``side_lock`` (single-lock discipline — they can never join a cycle and
+always drain, so full-wedge detection still fires), ``loop_depth``
+scales the rounds, ``padding`` widens the inversion windows, ``fanout``
+adds shared slots bumped inside the critical sections, and
+``cs_position`` permutes where ``ba``'s window work sits.  The cycle
+signature — sorted (thread, held-locks, wanted-lock, blocked-pc) tuples
+— is invariant across all of it: one inversion site per thread, so
+every wedge of a variant carries the same signature.
+"""
+
+from ...lang import builder as B
+from .params import FamilySpec, padding_stmts
+
+
+def build(params):
+    rounds = 3 + params.loop_depth
+    workers = params.threads - 2
+    slots = ["slot%d" % i for i in range(params.fanout)]
+
+    bump = [B.assign("both", B.add(B.v("both"), 1))]
+    bump_slots = [B.assign(s, B.add(B.v(s), 1)) for s in slots]
+
+    # forward: lock_a -> window -> lock_b; all shared writes inside the
+    # inner (lock_b) critical section
+    forward = B.func("forward", [], [
+        B.assign("pad", 0),
+        B.for_("i", 0, rounds,
+               [B.acquire("lock_a")]
+               + padding_stmts("pad", B.v("i"), params.padding)
+               + [B.acquire("lock_b")]
+               + bump + bump_slots
+               + [B.release("lock_b"), B.release("lock_a")]),
+    ])
+
+    # reverse: lock_b -> window -> lock_a, opposite order; the window
+    # work (counter bump + padding) happens while holding only lock_b
+    if params.cs_position == 0:
+        window = bump + padding_stmts("pad", B.v("j"), params.padding)
+    elif params.cs_position == 1:
+        window = padding_stmts("pad", B.v("j"), params.padding) + bump
+    else:
+        window = (bump + padding_stmts("pad", B.v("j"), params.padding)
+                  + bump)
+    reverse = B.func("reverse", [], [
+        B.assign("pad", 0),
+        # the pre-lock stamp: proof in the dump diff that ba had started
+        B.assign("mark", B.add(B.v("mark"), 1)),
+        B.for_("j", 0, rounds,
+               [B.acquire("lock_b")]
+               + window
+               + [B.acquire("lock_a")]
+               + bump_slots
+               + [B.release("lock_a"), B.release("lock_b")]),
+    ])
+
+    functions = [forward, reverse]
+    threads = [B.thread("ab", "forward"), B.thread("ba", "reverse")]
+    locks = ["lock_a", "lock_b"]
+    if workers:
+        # single-lock bystanders: never hold two locks, always drain —
+        # they delay full-wedge detection, never prevent it
+        spin = B.func("spin", ["wid"], [
+            B.assign("pad", 0),
+            B.for_("k", 0, rounds,
+                   [B.acquire("side_lock"),
+                    B.assign("sink", B.add(B.v("sink"), B.v("wid"))),
+                    B.release("side_lock")]
+                   + padding_stmts("pad", B.v("wid"), 1)),
+        ])
+        functions.append(spin)
+        threads.extend(B.thread("w%d" % (i + 1), "spin", [i + 1])
+                       for i in range(workers))
+        locks.append("side_lock")
+
+    globals_ = {"mark": 0, "both": 0, "sink": 0}
+    globals_.update((s, 0) for s in slots)
+    return B.program(
+        params.name,
+        globals_=globals_,
+        functions=functions,
+        threads=threads,
+        locks=locks,
+    )
+
+
+def describe(params):
+    return ("lock-order inversion: forward takes lock_a->lock_b, reverse "
+            "takes lock_b->lock_a, window padding %d, %d bystander "
+            "worker(s)" % (params.padding, params.threads - 2))
+
+
+FAMILY = FamilySpec(
+    key="deadlock",
+    kind="deadlock",
+    expected_fault="deadlock",
+    crash_func="forward",
+    title="ABBA lock-order inversion: opposite acquisition orders wedge "
+          "on a waits-for cycle",
+    build=build,
+    describe=describe,
+    extra_tags=("hang",),
+)

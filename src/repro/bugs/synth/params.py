@@ -22,12 +22,13 @@ class FamilySpec:
     """One bug family: its contract plus the parameterized builder."""
 
     key: str               # short family tag, e.g. "atom"
-    kind: str              # BugScenario.kind ("atom" | "race")
-    expected_fault: str    # fault kind every variant crashes with
+    kind: str              # BugScenario.kind ("atom" | "race" | "deadlock")
+    expected_fault: str    # fault kind every variant fails with
     crash_func: str        # function containing the failing PC
     title: str             # one-line family description
     build: Callable        # (SynthParams) -> Program
     describe: Callable     # (SynthParams) -> per-variant description
+    extra_tags: tuple = () # tags beyond ("synth", key), e.g. ("hang",)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,78 @@
+"""Hand-written deadlock scenario: opposing bank transfers (ABBA).
+
+The textbook lock-order inversion: ``alice`` moves money from account A
+to account B (locking ``acct_a`` then ``acct_b``), ``bob`` moves money
+the other way (locking ``acct_b`` then ``acct_a``).  Each holds its
+first lock across some bookkeeping before taking the second, so a
+schedule that parks each thread inside the other's window wedges both
+on a waits-for cycle — no crash PC, just a hung process.
+
+``bob`` stamps ``started`` before touching any lock: at the wedge he
+holds ``acct_b`` (so the stamp is in), while at the aligned point of
+the non-preemptive passing run he has not run at all — guaranteeing the
+hung dump and the aligned dump differ in at least one shared cell.
+Both threads bump ``audit`` inside their inner critical section, so the
+contended window carries shared accesses for the guided search.
+"""
+
+from ..lang import builder as B
+from .registry import BugScenario, register
+
+#: transfer rounds per direction; the wedge can land in any of them
+ROUNDS = 6
+
+
+def build():
+    transfer_ab = B.func("transfer_ab", [], [
+        B.assign("fee", 0),
+        B.for_("i", 0, ROUNDS, [
+            B.acquire("acct_a"),
+            # local fee computation widens the inversion window
+            B.assign("fee", B.mod(B.add(B.mul(B.v("fee"), 3), B.v("i")), 97)),
+            B.assign("fee", B.add(B.v("fee"), 1)),
+            B.acquire("acct_b"),
+            B.assign("bal_a", B.sub(B.v("bal_a"), 1)),
+            B.assign("bal_b", B.add(B.v("bal_b"), 1)),
+            B.assign("audit", B.add(B.v("audit"), 1)),
+            B.release("acct_b"),
+            B.release("acct_a"),
+        ]),
+    ])
+    transfer_ba = B.func("transfer_ba", [], [
+        # pre-lock stamp: proof in the dump diff that bob had started
+        B.assign("started", 1),
+        B.for_("j", 0, ROUNDS, [
+            B.acquire("acct_b"),
+            B.assign("audit", B.add(B.v("audit"), 1)),
+            B.acquire("acct_a"),
+            B.assign("bal_b", B.sub(B.v("bal_b"), 1)),
+            B.assign("bal_a", B.add(B.v("bal_a"), 1)),
+            B.release("acct_a"),
+            B.release("acct_b"),
+        ]),
+    ])
+    return B.program(
+        "bank-transfer",
+        globals_={"bal_a": 100, "bal_b": 100, "audit": 0, "started": 0},
+        functions=[transfer_ab, transfer_ba],
+        threads=[B.thread("alice", "transfer_ab"),
+                 B.thread("bob", "transfer_ba")],
+        locks=["acct_a", "acct_b"],
+    )
+
+
+register(BugScenario(
+    name="bank-transfer",
+    paper_id="handwritten",
+    kind="deadlock",
+    description="Opposing transfers take the account locks in opposite "
+                "order; the failure is the waits-for cycle, not a crash",
+    build=build,
+    expected_fault="deadlock",
+    crash_func="transfer_ab",
+    notes="One preemption suffices: park alice between her two acquires "
+          "and run bob up to his second acquire; both block and the "
+          "waits-for cycle (alice holds acct_a wants acct_b, bob holds "
+          "acct_b wants acct_a) is the reproduction signature.",
+    tags=("handwritten", "deadlock", "hang"),
+))

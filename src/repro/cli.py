@@ -168,9 +168,11 @@ def _cmd_list(args):
 
     scenarios = scenarios_by_tag(*tuple(args.tags),
                                  exclude=tuple(args.exclude_tags))
+    print("%-24s %-10s %-12s %s" % ("NAME", "KIND", "FAULT", "TAGS"))
     for scenario in scenarios:
-        print("%-24s %-12s %s" % (scenario.name, scenario.expected_fault,
-                                  ",".join(sorted(scenario.tags))))
+        print("%-24s %-10s %-12s %s"
+              % (scenario.name, scenario.kind, scenario.expected_fault,
+                 ",".join(sorted(scenario.tags))))
     return 0
 
 

@@ -1,6 +1,12 @@
 """Core dumps: snapshots, reachability, comparison, serialization."""
 
-from .compare import DumpComparison, ValueDifference, compare_dumps
+from .compare import (
+    DumpComparison,
+    ValueDifference,
+    compare_dumps,
+    hang_cycles_match,
+    matches_failure_signature,
+)
 from .dump import CoreDump, FrameDump, ThreadDump, take_core_dump
 from .reachability import Cell, reachable_cells, shared_cells
 from .serialize import dump_from_json, dump_size_bytes, dump_to_json
@@ -9,6 +15,8 @@ __all__ = [
     "DumpComparison",
     "ValueDifference",
     "compare_dumps",
+    "hang_cycles_match",
+    "matches_failure_signature",
     "CoreDump",
     "FrameDump",
     "ThreadDump",

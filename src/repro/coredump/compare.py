@@ -57,6 +57,34 @@ class DumpComparison:
                 self.shared_compared, len(self.csvs))
 
 
+def matches_failure_signature(failure, target_signature):
+    """The reproduction criterion, shared by every testrun classifier.
+
+    Crash-style failures match on ``(kind, pc)``; hung-state failures
+    (deadlock / hang) match on ``(kind, cycle)`` — cycle-*shape*
+    equality, since a deadlock has no single crash PC and any
+    interleaving wedging the same threads on the same locks at the same
+    acquire sites is the same bug.  Both shapes are produced by
+    :meth:`Failure.signature`, so one tuple comparison covers both.
+    """
+    return failure is not None and failure.signature() == target_signature
+
+
+def hang_cycles_match(dump_a, dump_b):
+    """True when two dumps capture the same hung shape.
+
+    Each must carry a hung-state failure (a waits-for cycle) and the
+    canonical cycles must be equal.  Crash dumps never match here.
+    """
+    fail_a = dump_a.failure
+    fail_b = dump_b.failure
+    if fail_a is None or fail_b is None:
+        return False
+    if fail_a.cycle is None or fail_b.cycle is None:
+        return False
+    return (fail_a.kind, fail_a.cycle) == (fail_b.kind, fail_b.cycle)
+
+
 def compare_dumps(failure_dump, aligned_dump):
     """Compare a failure dump against an aligned-point dump.
 

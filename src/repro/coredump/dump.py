@@ -18,6 +18,7 @@ from typing import Optional
 
 from ..lang.errors import DumpError
 from ..runtime.heap import HeapArray, HeapStruct
+from ..runtime.waitsfor import waits_for_snapshot
 
 
 @dataclass
@@ -68,6 +69,9 @@ class CoreDump:
     heap: dict = field(default_factory=dict)  # obj_id -> ("struct"|"array", payload)
     lock_owner: dict = field(default_factory=dict)
     threads: dict = field(default_factory=dict)  # name -> ThreadDump
+    #: waits-for graph of a hung run ({"edges": [...], "cycle": [...]})
+    #: — None for crash dumps and aligned dumps of unblocked states
+    waits_for: Optional[dict] = None
 
     @property
     def failure_pc(self):
@@ -135,4 +139,5 @@ def take_core_dump(execution, kind, failing_thread=None):
         heap=_dump_heap(execution.heap),
         lock_owner=execution.locks.snapshot(),
         threads=threads,
+        waits_for=waits_for_snapshot(execution),
     )

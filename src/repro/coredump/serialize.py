@@ -51,6 +51,23 @@ def _encode_cells(mapping):
     return {str(k): _encode_value(v) for k, v in mapping.items()}
 
 
+def encode_cycle(cycle):
+    """Waits-for cycle as JSON-able nested lists (None passes through)."""
+    if cycle is None:
+        return None
+    return [[thread, list(held), wanted, pc]
+            for thread, held, wanted, pc in cycle]
+
+
+def decode_cycle(doc):
+    """Re-tuple an :func:`encode_cycle` document (hashability matters:
+    the cycle participates in frozen ``Failure`` signatures and KB keys)."""
+    if doc is None:
+        return None
+    return tuple((thread, tuple(held), wanted, pc)
+                 for thread, held, wanted, pc in doc)
+
+
 def dump_to_json(dump):
     """Serialize ``dump`` to a JSON string."""
     doc = {
@@ -63,7 +80,9 @@ def dump_to_json(dump):
             "pc": dump.failure.pc,
             "thread": dump.failure.thread,
             "message": dump.failure.message,
+            "cycle": encode_cycle(dump.failure.cycle),
         },
+        "waits_for": dump.waits_for,
         "globals": _encode_cells(dump.globals),
         "heap": {
             str(obj_id): {
@@ -104,7 +123,8 @@ def dump_from_json(text):
     if doc["failure"] is not None:
         failure = Failure(kind=doc["failure"]["kind"], pc=doc["failure"]["pc"],
                           thread=doc["failure"]["thread"],
-                          message=doc["failure"]["message"])
+                          message=doc["failure"]["message"],
+                          cycle=decode_cycle(doc["failure"].get("cycle")))
     heap = {}
     for obj_id, entry in doc["heap"].items():
         if entry["kind"] == "struct":
@@ -136,6 +156,7 @@ def dump_from_json(text):
         heap=heap,
         lock_owner=doc["lock_owner"],
         threads=threads,
+        waits_for=doc.get("waits_for"),
     )
 
 

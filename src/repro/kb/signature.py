@@ -35,14 +35,22 @@ class CrashSignature:
     #: statically declared thread count of the subject program
     thread_count: int
     #: the failing PC — with ``fault_kind`` this is the exact
-    #: reproduction criterion (``Failure.signature()``)
+    #: reproduction criterion (``Failure.signature()``) for crashes
     failure_pc: int
+    #: canonical waits-for cycle for hung-state failures (deadlock /
+    #: hang) — when present it replaces the PC in the exact key, exactly
+    #: as it replaces the PC in ``Failure.signature()``
+    cycle: tuple = None
 
     def exact_key(self):
         """The reproduction-deciding part (matches ``Failure.signature()``)."""
+        if self.cycle is not None:
+            return (self.fault_kind, self.cycle)
         return (self.fault_kind, self.failure_pc)
 
     def to_doc(self):
+        from ..coredump.serialize import encode_cycle
+
         return {
             "fault_kind": self.fault_kind,
             "crash_func": self.crash_func,
@@ -50,10 +58,13 @@ class CrashSignature:
             "shared_vars": list(self.shared_vars),
             "thread_count": self.thread_count,
             "failure_pc": self.failure_pc,
+            "cycle": encode_cycle(self.cycle),
         }
 
     @classmethod
     def from_doc(cls, doc):
+        from ..coredump.serialize import decode_cycle
+
         return cls(
             fault_kind=doc["fault_kind"],
             crash_func=doc["crash_func"],
@@ -61,6 +72,7 @@ class CrashSignature:
             shared_vars=tuple(doc["shared_vars"]),
             thread_count=doc["thread_count"],
             failure_pc=doc["failure_pc"],
+            cycle=decode_cycle(doc.get("cycle")),
         )
 
 
@@ -86,6 +98,7 @@ def extract_signature(failure, dump, csv_paths, thread_count):
         shared_vars=tuple(sorted(set(csv_paths))),
         thread_count=thread_count,
         failure_pc=failure.pc,
+        cycle=failure.cycle,
     )
 
 

@@ -22,6 +22,7 @@ from ..indexing.index import (
     StatementEntry,
     ThreadEntry,
 )
+from ..coredump.serialize import decode_cycle, encode_cycle
 from ..lang.errors import DumpError
 from ..runtime.events import Failure
 from ..search.base import SearchOutcome
@@ -31,14 +32,15 @@ from .config import ReproductionConfig
 #: Version tag of the JSON report schema.  Bump the minor on additive
 #: changes (older documents still parse), the major on breaking ones;
 #: :func:`ReproductionReport.from_json` rejects documents it cannot read.
-SCHEMA_VERSION = "repro.report/1.2"
+SCHEMA_VERSION = "repro.report/1.3"
 
 #: Every schema this build can read.  ``repro.report/1`` documents
 #: predate the per-stage timing and ``memo_hits`` fields, ``1.1`` ones
-#: the supervised-execution counters; absent fields decode to their
-#: defaults.
+#: the supervised-execution counters, ``1.2`` ones the waits-for
+#: ``cycle`` in failure blocks (hung-state failures); absent fields
+#: decode to their defaults.
 READABLE_SCHEMAS = frozenset({"repro.report/1", "repro.report/1.1",
-                              SCHEMA_VERSION})
+                              "repro.report/1.2", SCHEMA_VERSION})
 
 
 @dataclass
@@ -219,11 +221,21 @@ def _filter_fields(cls, doc):
 
 
 def _encode_failure(failure):
-    return None if failure is None else asdict(failure)
+    if failure is None:
+        return None
+    doc = asdict(failure)
+    doc["cycle"] = encode_cycle(failure.cycle)
+    return doc
 
 
 def _decode_failure(doc):
-    return None if doc is None else Failure(**_filter_fields(Failure, doc))
+    if doc is None:
+        return None
+    doc = _filter_fields(Failure, doc)
+    # JSON flattens the cycle's tuples to lists; re-tuple so decoded
+    # failures hash and signature-compare identically to live ones
+    doc["cycle"] = decode_cycle(doc.get("cycle"))
+    return Failure(**doc)
 
 
 def _encode_index(index):

@@ -53,26 +53,47 @@ class StressResult:
     result: object         # RunResult of the failing run
     execution: object      # the failed Execution (for ground-truth checks)
     dump: object           # the failure CoreDump
+    #: hung-state runs encountered *before* the qualifying seed while
+    #: sweeping for a different failure kind: (position, seed, kind)
+    #: tuples, ascending by position.  Without this, a seed whose run
+    #: wedged in a deadlock was silently counted as "no failure".
+    observations: tuple = ()
 
     @property
     def failure(self):
         return self.result.failure
 
 
+def _observation(result):
+    """(kind,) note when a non-qualifying run ended hung, else None."""
+    failure = result.failure
+    if failure is not None and failure.kind in ("deadlock", "hang"):
+        return failure.kind
+    return None
+
+
 def _attempt(bundle, seed, input_overrides, expected_kind, expected_pc,
              switch_prob, instrument_loops, use_blocks):
-    """One stress run; returns ``(execution, result, qualifies)``."""
+    """One stress run; returns ``(execution, result, qualifies)``.
+
+    The qualification test is failure-based, not status-based: a run
+    that wedged in a deadlock (status DEADLOCK) or blew its step budget
+    (status STOPPED, kind ``hang``) carries a structured failure and
+    qualifies when it matches the expected kind, so hang scenarios are
+    stress-testable exactly like crashing ones.
+    """
     execution = bundle.execution(
         MulticoreScheduler(seed=seed, switch_prob=switch_prob),
         input_overrides=input_overrides,
         instrument_loops=instrument_loops,
         use_blocks=use_blocks)
     result = execution.run()
-    qualifies = (result.failed
+    failure = result.failure
+    qualifies = (failure is not None
                  and (expected_kind is None
-                      or result.failure.kind == expected_kind)
+                      or failure.kind == expected_kind)
                  and (expected_pc is None
-                      or result.failure.pc == expected_pc))
+                      or failure.pc == expected_pc))
     return execution, result, qualifies
 
 
@@ -123,23 +144,31 @@ def _bundle_for(spec_blob):
 def run_stress_chunk(spec_blob, chunk, fault=None):
     """Pool-worker entry: try ``[(position, seed), ...]`` in order.
 
-    Returns the first qualifying ``(position, seed)`` as a one-element
-    list — the chunk is a contiguous ascending slice of the sweep, so
-    its first hit is its best — or ``[]``.  Dumps and executions stay
-    worker-side; the driver re-runs the winning seed locally
-    (deterministic, so byte-identical).  ``fault`` is a
-    supervisor-injected instruction, honored only inside pool workers.
+    Returns ``{"hit": [...], "observed": [...]}``: the first qualifying
+    ``(position, seed)`` as a one-element list — the chunk is a
+    contiguous ascending slice of the sweep, so its first hit is its
+    best — plus the ``(position, seed, kind)`` hung-state observations
+    preceding it.  Dumps and executions stay worker-side; the driver
+    re-runs the winning seed locally (deterministic, so byte-identical).
+    ``fault`` is a supervisor-injected instruction, honored only inside
+    pool workers.
     """
     maybe_inject(fault)
     bundle, spec = _bundle_for(spec_blob)
+    hit = []
+    observed = []
     for position, seed in chunk:
-        _execution, _result, qualifies = _attempt(
+        _execution, result, qualifies = _attempt(
             bundle, seed, spec.input_overrides, spec.expected_kind,
             spec.expected_pc, spec.switch_prob, spec.instrument_loops,
             use_blocks=None)
         if qualifies:
-            return corrupt_or(fault, [(position, seed)])
-    return corrupt_or(fault, [])
+            hit = [(position, seed)]
+            break
+        kind = _observation(result)
+        if kind is not None:
+            observed.append((position, seed, kind))
+    return corrupt_or(fault, {"hit": hit, "observed": observed})
 
 
 # ---------------------------------------------------------------------------
@@ -186,17 +215,22 @@ def stress_test(bundle, input_overrides=None, seeds=None, expected_kind=None,
                 record_degradation(policy.stats, exc.stage, exc.reason,
                                    exc.detail)
     runs = 0
+    observed = []
     for seed in seeds:
         runs += 1
         execution, result, qualifies = _attempt(
             bundle, seed, input_overrides, expected_kind, expected_pc,
             switch_prob, instrument_loops, use_blocks)
         if not qualifies:
+            kind = _observation(result)
+            if kind is not None:
+                observed.append((runs - 1, seed, kind))
             continue
         dump = take_core_dump(execution, "failure")
         return StressResult(seed=seed, runs_tried=runs,
                             wall_seconds=time.perf_counter() - start,
-                            result=result, execution=execution, dump=dump)
+                            result=result, execution=execution, dump=dump,
+                            observations=tuple(observed))
     raise SearchError(
         "no failing interleaving found for %s in %d runs"
         % (bundle.name, runs))
@@ -233,24 +267,39 @@ def _parallel_stress(bundle, seeds, spec_blob, workers, start,
                                                     len(seeds)))]
               for lo in range(0, len(seeds), chunk_size)]
     supervisor = Supervisor(workers, policy, stage="stress")
-    outcomes = {}            # chunk index -> [(position, seed)] or []
+    outcomes = {}            # chunk index -> {"hit": [...], "observed": [...]}
     chunk_of = {}            # task -> chunk index
     next_chunk = 0
     earliest_hit = None      # lowest chunk index with a qualifying seed
 
     def valid_chunk(result):
-        return (isinstance(result, list)
+        return (isinstance(result, dict)
+                and isinstance(result.get("hit"), list)
+                and isinstance(result.get("observed"), list)
                 and all(isinstance(hit, tuple) and len(hit) == 2
-                        for hit in result))
+                        for hit in result["hit"])
+                and all(isinstance(obs, tuple) and len(obs) == 3
+                        for obs in result["observed"]))
 
     def winner_so_far():
         """The hit all of whose predecessor chunks resolved empty."""
         for idx in range(len(chunks)):
             if idx not in outcomes:
                 return None
-            if outcomes[idx]:
-                return outcomes[idx][0]
+            if outcomes[idx]["hit"]:
+                return outcomes[idx]["hit"][0]
         return None
+
+    def observations_before(position):
+        """Hung-state notes at sweep positions the serial loop would
+        have visited: every predecessor chunk of the winner is fully
+        resolved, and the winner's own chunk stopped at the hit — so
+        filtering to earlier positions reproduces the serial list."""
+        return tuple(sorted(
+            obs
+            for idx in outcomes
+            for obs in outcomes[idx]["observed"]
+            if obs[0] < position))
 
     try:
         while True:
@@ -274,8 +323,8 @@ def _parallel_stress(bundle, seeds, spec_blob, workers, start,
                 supervisor.raise_if_failed(task)
                 idx = chunk_of[task]
                 outcomes[idx] = task.result
-                if outcomes[idx] and (earliest_hit is None
-                                      or idx < earliest_hit):
+                if outcomes[idx]["hit"] and (earliest_hit is None
+                                             or idx < earliest_hit):
                     earliest_hit = idx
             hit = winner_so_far()
             if hit is not None:
@@ -291,7 +340,8 @@ def _parallel_stress(bundle, seeds, spec_blob, workers, start,
                 return StressResult(
                     seed=seed, runs_tried=position + 1,
                     wall_seconds=time.perf_counter() - start,
-                    result=result, execution=execution, dump=dump)
+                    result=result, execution=execution, dump=dump,
+                    observations=observations_before(position))
             if earliest_hit is not None:
                 for task in supervisor.active():
                     if chunk_of[task] > earliest_hit:

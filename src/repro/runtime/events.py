@@ -65,18 +65,43 @@ class StepEffects:
 
 @dataclass(frozen=True)
 class Failure:
-    """A simulated crash: the analogue of the paper's failing signal."""
+    """A simulated failure: a crash signal, or a hung-process state.
+
+    Crashes identify by their failing PC.  Deadlocks and hangs identify
+    by the canonical waits-for ``cycle`` — sorted
+    ``(thread, held_locks, wanted_lock, blocked_pc)`` tuples — because a
+    deadlock has no single crash site: any interleaving that wedges the
+    same threads on the same locks at the same acquire sites is the same
+    bug, regardless of which thread blocked first.
+    """
 
     kind: str
     pc: int
     thread: str
     message: str
+    #: canonical waits-for cycle for kind="deadlock"/"hang": a sorted
+    #: tuple of (thread, held_locks_tuple, wanted_lock, blocked_pc)
+    cycle: Optional[tuple] = None
 
     def signature(self):
-        """Failure identity used to decide reproduction: kind + PC."""
+        """Failure identity used to decide reproduction.
+
+        Crash-style failures match on kind + PC; hung-state failures
+        match on kind + cycle shape (PC would be an accident of which
+        thread the scheduler happened to block first).
+        """
+        if self.cycle is not None:
+            return (self.kind, self.cycle)
         return (self.kind, self.pc)
 
     def describe(self):
+        if self.cycle is not None:
+            edges = ", ".join(
+                "%s holds %s wants %s@pc=%d"
+                % (t, "{%s}" % ",".join(held), want, pc)
+                for t, held, want, pc in self.cycle)
+            return "%s in thread %s: %s [%s]" % (
+                self.kind, self.thread, self.message, edges)
         return "%s at pc=%d in thread %s: %s" % (
             self.kind, self.pc, self.thread, self.message)
 

@@ -78,6 +78,7 @@ from .events import (
 from .frames import Frame, RegionEntry, ThreadState, ThreadStatus
 from .heap import Heap, HeapArray, HeapStruct
 from .sync import LockTable
+from .waitsfor import deadlock_failure, hang_failure
 
 
 class ExecutionStatus:
@@ -360,9 +361,9 @@ class Execution:
             return False
         instr = self._instrs[thread.pc]
         if instr.op is Opcode.ACQUIRE:
-            owner = self.locks.owner(instr.lock)
-            if owner is not None and owner != thread.name:
-                return False
+            # shared predicate with the waits-for builder: held-by-self
+            # still runs (and faults as a re-acquire) rather than blocks
+            return self.locks.is_free_for(instr.lock, thread.name)
         return True
 
     def runnable_threads(self):
@@ -513,6 +514,7 @@ class Execution:
                 if not runnable:
                     if self.live_threads():
                         self.status = ExecutionStatus.DEADLOCK
+                        self.failure = deadlock_failure(self)
                     else:
                         self.status = ExecutionStatus.COMPLETED
                     break
@@ -529,6 +531,8 @@ class Execution:
                 if self.step_count >= self.max_steps:
                     self.status = ExecutionStatus.STOPPED
                     self.stop_reason = "max-steps"
+                    if self.live_threads():
+                        self.failure = hang_failure(self)
                     break
         except StopExecution as stop:  # pragma: no cover - hookless path
             self.status = ExecutionStatus.STOPPED
@@ -684,6 +688,7 @@ class Execution:
                 if not runnable:
                     if self.live_threads():
                         self.status = ExecutionStatus.DEADLOCK
+                        self.failure = deadlock_failure(self)
                     else:
                         self.status = ExecutionStatus.COMPLETED
                     break
@@ -706,6 +711,8 @@ class Execution:
                 if self.step_count >= self.max_steps:
                     self.status = ExecutionStatus.STOPPED
                     self.stop_reason = "max-steps"
+                    if self.live_threads():
+                        self.failure = hang_failure(self)
                     break
         except StopExecution as stop:
             self.status = ExecutionStatus.STOPPED

@@ -19,7 +19,15 @@ class LockTable:
         return self._owner[lock]
 
     def is_free_for(self, lock, thread):
-        return self._owner[lock] is None
+        """True when ``thread`` could step through an ``acquire`` of ``lock``.
+
+        A free lock is acquirable; a lock already held by ``thread`` also
+        counts — the acquire *runs* and faults as a re-acquire rather than
+        blocking forever.  Both the scheduler's runnability check and the
+        waits-for graph builder route through this single predicate.
+        """
+        owner = self._owner[lock]
+        return owner is None or owner == thread
 
     def acquire(self, lock, thread, pc=None):
         owner = self._owner[lock]

@@ -5,7 +5,7 @@ from dataclasses import dataclass, field
 from itertools import product
 from typing import Optional
 
-from ..runtime.interpreter import ExecutionStatus
+from ..coredump.compare import matches_failure_signature
 from .preemption import PlannedPreemption, PreemptingScheduler
 
 
@@ -198,9 +198,8 @@ class ScheduleSearchBase:
             if entry is not None:
                 self._account(plan, entry.steps, skipped=entry.steps)
                 self.memo_hits += 1
-                reproduced = (entry.failure is not None
-                              and entry.failure.signature()
-                              == self.target_signature)
+                reproduced = matches_failure_signature(
+                    entry.failure, self.target_signature)
                 return reproduced, entry
         scheduler = PreemptingScheduler(plan)
         engine = self.replay_engine
@@ -213,13 +212,14 @@ class ScheduleSearchBase:
         self.executed_steps += result.steps - resume_from
         if engine is not None:
             self.executed_steps += engine.drain_recording_steps()
-        failed = result.status == ExecutionStatus.FAILED
+        # a run that ends DEADLOCK (or STOPPED with a hang classification)
+        # carries a structured failure too — memoize and match it exactly
+        # like a crash, so hung schedules count as reproductions
         if memo is not None:
             memo.put(key, MemoEntry(steps=result.steps,
-                                    failure=result.failure if failed
-                                    else None))
-        reproduced = (failed
-                      and result.failure.signature() == self.target_signature)
+                                    failure=result.failure))
+        reproduced = matches_failure_signature(result.failure,
+                                               self.target_signature)
         return reproduced, result
 
     def _account(self, plan, steps, skipped):

@@ -40,6 +40,19 @@ class ChessXSearch(ScheduleSearchBase):
         # the prefix.
         self.future_index = FutureCSVIndex(
             ranked_accesses if all_accesses is None else all_accesses)
+        # Hung-state targets (deadlock / hang cycles) align at the
+        # blocked acquire, which often leaves *zero* CSV accesses before
+        # the aligned point — every block annotation is empty and pure
+        # CSV guidance goes blind (the dependency-sparse lock-window
+        # blind spot).  For those targets only, thread selection falls
+        # back to lock contention: candidates are the passing run's sync
+        # events, so each thread's future *lock* set is derivable from
+        # them directly.
+        self._hang_target = target_signature[0] in ("deadlock", "hang") \
+            if target_signature else False
+        self._acquires = sorted(
+            (c.step, c.thread, c.lock)
+            for c in self.candidates if c.kind == "acquire")
 
     # -- Algorithm 2 lines 1-7: the weighted worklist -------------------------
 
@@ -99,9 +112,23 @@ class ChessXSearch(ScheduleSearchBase):
 
     # -- Algorithm 2 preempt(): guided thread selection -------------------------
 
+    def _lock_contenders(self, candidate):
+        """Threads that acquire the candidate's lock at or after its step."""
+        contenders = []
+        for thread in self.thread_names:
+            if thread == candidate.thread:
+                continue
+            if any(step >= candidate.step and t == thread
+                   and lock == candidate.lock
+                   for step, t, lock in self._acquires):
+                contenders.append(thread)
+        return contenders
+
     def selection_for(self, candidate):
         """Threads whose future CSVs overlap the preempted block's CSVs."""
         if not candidate.block_csv_locs:
+            if self._hang_target and candidate.kind == "acquire":
+                return self._lock_contenders(candidate)
             return []
         selected = []
         for thread in self.thread_names:

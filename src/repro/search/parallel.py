@@ -66,7 +66,7 @@ from ..exec.supervisor import (
     Supervisor,
     record_degradation,
 )
-from ..runtime.interpreter import ExecutionStatus
+from ..coredump.compare import matches_failure_signature
 from .base import MemoEntry, SearchOutcome, plan_fingerprint
 from .preemption import PreemptingScheduler
 from .replay import ReplayEngine
@@ -376,9 +376,11 @@ def run_shard(spec_blob, shard, fault=None):
         executed = result.steps - resumed
         if ctx.engine is not None:
             executed += ctx.engine.drain_recording_steps()
-        failure = (result.failure
-                   if result.status == ExecutionStatus.FAILED else None)
-        out.append(ShardRun(index=index, steps=result.steps, failure=failure,
+        # hung runs (deadlock / budget hang) carry a structured failure
+        # despite not being status FAILED — ship it, so the driver's
+        # ``wins`` check can match deadlock cycles exactly like crash PCs
+        out.append(ShardRun(index=index, steps=result.steps,
+                            failure=result.failure,
                             executed=executed, skipped=resumed))
     return corrupt_or(fault, out)
 
@@ -432,8 +434,7 @@ def _parallel_search(search, spec, workers, shard_size=None, policy=None,
     spec_blob = pickle.dumps(spec)
 
     def wins(run):
-        return (run.failure is not None
-                and run.failure.signature() == target)
+        return matches_failure_signature(run.failure, target)
 
     # The canonical worklist — exactly what serial search would test,
     # bounded by the tries budget — is enumerated *incrementally* as

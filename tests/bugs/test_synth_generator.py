@@ -18,6 +18,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 TABLE2_NAMES = ["apache-1", "apache-2", "mysql-1", "mysql-2", "mysql-3",
                 "mysql-4", "mysql-5"]
 
+#: non-ranked hand-written scenarios, in their name-sorted registry order
+HANDWRITTEN_NAMES = ["bank-transfer", "cache-refill", "fig1"]
+
 
 # ---------------------------------------------------------------------------
 # registry shape and ordering
@@ -38,9 +41,10 @@ def test_table2_rank_drives_ordering():
     names = [s.name for s in all_scenarios()]
     # the Table 2 suite leads, in declared rank order
     assert names[:7] == TABLE2_NAMES
-    # auxiliary paper scenarios come next, generated ones last
-    assert names[7] == "fig1"
-    assert all(name.startswith("synth-") for name in names[8:])
+    # auxiliary hand-written scenarios come next (name-sorted),
+    # generated ones last
+    assert names[7:10] == HANDWRITTEN_NAMES
+    assert all(name.startswith("synth-") for name in names[10:])
     # stable: enumeration order never depends on registration order
     assert names == [s.name for s in all_scenarios()]
 
@@ -52,8 +56,14 @@ def test_table2_scenarios_follow_declared_ranks():
 
 
 def test_scenarios_by_tag_filtering():
-    paper = scenarios_by_tag(exclude=("synth",))
+    handwritten = scenarios_by_tag(exclude=("synth",))
+    assert [s.name for s in handwritten] == TABLE2_NAMES + HANDWRITTEN_NAMES
+    # the crash-failure paper suite excludes hang scenarios too
+    paper = scenarios_by_tag(exclude=("synth", "hang"))
     assert [s.name for s in paper] == TABLE2_NAMES + ["fig1"]
+    # every deadlock scenario (synth or hand-written) carries the hang tag
+    for s in scenarios_by_tag("hang"):
+        assert s.expected_fault == "deadlock", s.name
     assert scenarios_by_tag("synth", "mvar") == [
         s for s in all_scenarios()
         if "synth" in s.tags and "mvar" in s.tags]
@@ -135,7 +145,7 @@ def test_scenario_metadata_is_deterministic():
         b = synth.make_scenario(family, 17)
         assert a.name == b.name == "synth-%s-s17" % family
         assert a.description == b.description
-        assert a.tags == b.tags == ("synth", family)
+        assert a.tags == b.tags == ("synth", family) + spec.extra_tags
         assert a.expected_fault == spec.expected_fault
         assert a.crash_func == spec.crash_func
 

@@ -1,0 +1,101 @@
+"""Hung-state dumps: cycle serialization and hang-signature matching."""
+
+from repro.bugs import get_scenario
+from repro.coredump import (
+    compare_dumps,
+    dump_from_json,
+    dump_to_json,
+    hang_cycles_match,
+    matches_failure_signature,
+    take_core_dump,
+)
+from repro.pipeline.bundle import ProgramBundle
+from repro.runtime.scheduler import DeterministicScheduler, ScriptedScheduler
+
+
+def wedged(name="bank-transfer", round_=0):
+    """An execution of ``name`` driven into its ABBA wedge.
+
+    ``round_`` picks which loop iteration of the first thread hosts the
+    wedge — same canonical cycle, different step counts.
+    """
+    bundle = ProgramBundle(get_scenario(name).build())
+    probe = bundle.execution(DeterministicScheduler(), use_blocks=False)
+    first = bundle.thread_names()[0]
+    lock = sorted(probe.program.locks)[0]
+    steps = 0
+    acquisitions = 0
+    # park `first` just after its (round_+1)-th outer acquire
+    while True:
+        held_before = probe.locks.owner(lock) == first
+        probe.step(first)
+        steps += 1
+        assert steps < 500, "probe never reached round %d" % round_
+        if not held_before and probe.locks.owner(lock) == first:
+            acquisitions += 1
+            if acquisitions > round_:
+                break
+    second = bundle.thread_names()[1]
+    script = [first] * steps + [second] * 400 + [first] * 400
+    execution = bundle.execution(ScriptedScheduler(script))
+    result = execution.run()
+    assert result.status == "deadlock", result.status
+    return execution, result
+
+
+class TestHungDumpSerialization:
+    def test_cycle_and_waits_for_roundtrip(self):
+        execution, result = wedged()
+        dump = take_core_dump(execution, "failure",
+                              failing_thread=result.failure.thread)
+        clone = dump_from_json(dump_to_json(dump))
+        # the cycle survives as nested *tuples* (hashable signature)
+        assert clone.failure.cycle == result.failure.cycle
+        assert isinstance(clone.failure.cycle, tuple)
+        assert all(isinstance(e, tuple) for e in clone.failure.cycle)
+        assert clone.failure.signature() == result.failure.signature()
+        assert clone.waits_for == dump.waits_for
+        assert clone.waits_for["cycle"] is not None
+
+    def test_roundtrip_preserves_comparison(self):
+        execution, result = wedged()
+        dump = take_core_dump(execution, "failure",
+                              failing_thread=result.failure.thread)
+        clone = dump_from_json(dump_to_json(dump))
+        assert compare_dumps(dump, clone).differences == []
+
+
+class TestHangSignatureMatching:
+    def test_matches_failure_signature(self):
+        _, result = wedged()
+        target = result.failure.signature()
+        assert matches_failure_signature(result.failure, target)
+        assert not matches_failure_signature(None, target)
+        assert not matches_failure_signature(result.failure,
+                                             ("crash", result.failure.pc))
+
+    def test_same_shape_different_iteration_matches(self):
+        """Wedging one loop round later yields the same canonical cycle:
+        the signature is schedule- and iteration-invariant."""
+        _, early = wedged()
+        _, late = wedged(round_=1)  # one full forward round later
+        assert early.failure.cycle == late.failure.cycle
+        assert early.failure.signature() == late.failure.signature()
+
+    def test_hang_cycles_match(self):
+        ex_a, ra = wedged()
+        ex_b, rb = wedged(round_=1)
+        dump_a = take_core_dump(ex_a, "failure",
+                                failing_thread=ra.failure.thread)
+        dump_b = take_core_dump(ex_b, "failure",
+                                failing_thread=rb.failure.thread)
+        assert hang_cycles_match(dump_a, dump_b)
+
+    def test_hang_cycles_do_not_match_across_scenarios(self):
+        ex_a, ra = wedged("bank-transfer")
+        ex_b, rb = wedged("cache-refill")
+        dump_a = take_core_dump(ex_a, "failure",
+                                failing_thread=ra.failure.thread)
+        dump_b = take_core_dump(ex_b, "failure",
+                                failing_thread=rb.failure.thread)
+        assert not hang_cycles_match(dump_a, dump_b)

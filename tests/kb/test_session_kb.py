@@ -63,6 +63,29 @@ def test_exact_reoccurrence_reproduces_first_try(tmp_path):
         == cold_outcome.failure.signature()
 
 
+def test_hang_reoccurrence_warm_starts_first_try(tmp_path):
+    """A recorded deadlock indexes by its waits-for cycle and warm-starts
+    a re-occurrence exactly like a crash: exact layer, one try."""
+    kb_path = str(tmp_path / "kb.json")
+    cold = _session("bank-transfer")
+    cold_outcome = cold.search(STRATEGY)
+    assert cold_outcome.reproduced
+    assert cold_outcome.failure.kind == "deadlock"
+    assert cold_outcome.failure.cycle is not None
+    signature = cold.crash_signature()
+    assert signature.cycle == cold_outcome.failure.cycle
+    assert signature.exact_key() == cold_outcome.failure.signature()
+    assert cold.record_to_kb(kb=KnowledgeBase(kb_path)) == 1
+
+    warm = _session("bank-transfer", kb_path=kb_path)
+    warm_outcome = warm.search(STRATEGY)
+    assert warm.kb_retrieval_layers[STRATEGY] == "exact"
+    assert warm_outcome.reproduced
+    assert warm_outcome.tries == 1
+    assert warm_outcome.failure.signature() \
+        == cold_outcome.failure.signature()
+
+
 def test_kb_disabled_by_default():
     session = _session(SCENARIO)
     assert session.knowledge_base() is None

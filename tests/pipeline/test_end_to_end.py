@@ -14,8 +14,10 @@ from repro.pipeline import (
 from tests.conftest import suite_scenario_names
 
 ALL_NAMES = suite_scenario_names()
-#: the hand-written suite: the paper's performance claims hold here
-PAPER_NAMES = [s.name for s in scenarios_by_tag(exclude=("synth",))]
+#: the hand-written crash suite: the paper's performance claims hold
+#: here; hang scenarios reproduce (TestReproduction) but the Table-2
+#: performance bars predate deadlock targets, so they stay out
+PAPER_NAMES = [s.name for s in scenarios_by_tag(exclude=("synth", "hang"))]
 
 _CACHE = {}
 

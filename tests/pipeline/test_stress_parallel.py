@@ -39,6 +39,31 @@ def test_parallel_sweep_matches_serial(bundles, name):
     assert dump_to_json(parallel.dump) == dump_to_json(serial.dump)
 
 
+def test_hang_observations_parallel_matches_serial():
+    """A sweep hunting one failure kind must surface — not discard — the
+    seeds that wedged in a different hung state, and the parallel
+    reduction must reproduce the serial observation list exactly."""
+    scenario = get_scenario("bank-transfer")
+    # budget small enough that every seed either wedges (deadlock) or
+    # exhausts the budget (hang): the deadlock seeds preceding the first
+    # hang seed are exactly the serial observations
+    bundle = ProgramBundle(scenario.build(), max_steps=120)
+    kwargs = dict(seeds=range(200), expected_kind="hang")
+    serial = stress_test(bundle, **kwargs)
+    assert serial.failure.kind == "hang"
+    assert serial.observations, "no hung seeds preceded the hit"
+    assert all(kind == "deadlock" for _pos, _seed, kind in serial.observations)
+    positions = [pos for pos, _seed, _kind in serial.observations]
+    assert positions == sorted(positions)
+    assert all(pos < serial.runs_tried - 1 for pos in positions)
+
+    parallel = stress_test(bundle, workers=2, **kwargs)
+    assert parallel.seed == serial.seed
+    assert parallel.runs_tried == serial.runs_tried
+    assert parallel.observations == serial.observations
+    assert dump_to_json(parallel.dump) == dump_to_json(serial.dump)
+
+
 def test_parallel_sweep_no_failure_raises(bundles):
     scenario, bundle = bundles["fig1"]
     # a fault kind no run produces: both sweeps must exhaust and raise

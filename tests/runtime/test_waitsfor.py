@@ -1,0 +1,191 @@
+"""The waits-for graph: edges, cycle extraction, failure synthesis (unit)."""
+
+import pytest
+
+from repro.bugs import get_scenario
+from repro.lang import builder as B
+from repro.pipeline.bundle import ProgramBundle
+from repro.runtime.scheduler import DeterministicScheduler, ScriptedScheduler
+from repro.runtime.waitsfor import (
+    blocked_edges,
+    canonical_cycle,
+    deadlock_failure,
+    extract_cycle,
+    hang_failure,
+    waits_for_snapshot,
+)
+
+
+# ---------------------------------------------------------------------------
+# extract_cycle: pure graph logic
+# ---------------------------------------------------------------------------
+
+def edge(thread, lock, owner, pc=0):
+    return (thread, lock, owner, pc)
+
+
+def test_two_cycle():
+    edges = [edge("a", "lb", "b"), edge("b", "la", "a")]
+    assert extract_cycle(edges) == {"a", "b"}
+
+
+def test_three_cycle():
+    edges = [edge("a", "l2", "b"), edge("b", "l3", "c"),
+             edge("c", "l1", "a")]
+    assert extract_cycle(edges) == {"a", "b", "c"}
+
+
+def test_chain_into_cycle_excludes_the_tail():
+    # d waits on the cycle but is not part of it
+    edges = [edge("a", "lb", "b"), edge("b", "la", "a"),
+             edge("d", "la", "a")]
+    assert extract_cycle(edges) == {"a", "b"}
+
+
+def test_acyclic_wait_chain_has_no_cycle():
+    # a waits on b; b's owner is a thread with no blocked edge (it will
+    # run again) — an acyclic stall, not a deadlock
+    edges = [edge("a", "lb", "b")]
+    assert extract_cycle(edges) is None
+
+
+def test_no_edges_no_cycle():
+    assert extract_cycle([]) is None
+
+
+# ---------------------------------------------------------------------------
+# live executions: a real wedge and an orphaned-lock stall
+# ---------------------------------------------------------------------------
+
+def wedged_execution():
+    """bank-transfer driven into its ABBA wedge."""
+    bundle = ProgramBundle(get_scenario("bank-transfer").build())
+    probe = bundle.execution(DeterministicScheduler(), use_blocks=False)
+    steps = 0
+    while probe.locks.owner("acct_a") != "alice":
+        probe.step("alice")
+        steps += 1
+    script = ["alice"] * steps + ["bob"] * 400 + ["alice"] * 400
+    execution = bundle.execution(ScriptedScheduler(script))
+    result = execution.run()
+    assert result.status == "deadlock"
+    return execution
+
+
+def test_blocked_edges_of_a_wedge():
+    execution = wedged_execution()
+    edges = sorted(blocked_edges(execution))
+    assert [(t, lock, owner) for t, lock, owner, _pc in edges] == [
+        ("alice", "acct_b", "bob"), ("bob", "acct_a", "alice")]
+
+
+def test_canonical_cycle_shape():
+    execution = wedged_execution()
+    cycle = canonical_cycle(execution)
+    assert len(cycle) == 2
+    assert cycle == tuple(sorted(cycle))
+    (t1, held1, want1, pc1), (t2, held2, want2, pc2) = cycle
+    assert (t1, held1, want1) == ("alice", ("acct_a",), "acct_b")
+    assert (t2, held2, want2) == ("bob", ("acct_b",), "acct_a")
+    assert pc1 != pc2
+
+
+def test_deadlock_failure_fields():
+    execution = wedged_execution()
+    failure = deadlock_failure(execution)
+    assert failure.kind == "deadlock"
+    # the failing thread is the lexicographically smallest cycle member,
+    # its pc the blocked acquire — the dump's top frame sits there
+    assert failure.thread == "alice"
+    assert failure.pc == failure.cycle[0][3]
+    assert "waits-for cycle over 2 thread(s)" in failure.message
+    assert failure.signature() == ("deadlock", failure.cycle)
+
+
+def test_waits_for_snapshot_is_jsonable():
+    import json
+
+    execution = wedged_execution()
+    snap = waits_for_snapshot(execution)
+    assert json.loads(json.dumps(snap)) == snap
+    assert sorted(snap["cycle"]) == ["alice", "bob"]
+    assert {e["thread"] for e in snap["edges"]} == {"alice", "bob"}
+
+
+def test_no_blocked_threads_no_snapshot():
+    bundle = ProgramBundle(get_scenario("bank-transfer").build())
+    execution = bundle.execution(DeterministicScheduler())
+    execution.run()
+    assert waits_for_snapshot(execution) is None
+    assert deadlock_failure(execution) is None
+
+
+# ---------------------------------------------------------------------------
+# the orphaned-lock stall: blocked threads, no cycle
+# ---------------------------------------------------------------------------
+
+def orphan_program():
+    """``leaker`` exits while holding ``l`` (release elided); ``waiter``
+    then blocks forever on a lock nobody will ever release."""
+    leaker = B.func("leak", [], [
+        B.acquire("l"),
+        B.assign("g", 1),
+    ])
+    waiter = B.func("wait", [], [
+        B.assign("g", 2),
+        B.acquire("l"),
+        B.assign("g", 3),
+        B.release("l"),
+    ])
+    return B.program(
+        "orphan", globals_={"g": 0}, functions=[leaker, waiter],
+        threads=[B.thread("leaker", "leak"), B.thread("waiter", "wait")],
+        locks=["l"])
+
+
+def test_orphaned_lock_stall_is_deadlock_without_cycle_edge():
+    bundle = ProgramBundle(orphan_program())
+    execution = bundle.execution(DeterministicScheduler())
+    result = execution.run()
+    assert result.status == "deadlock"
+    failure = result.failure
+    assert failure is not None and failure.kind == "deadlock"
+    # no waits-for cycle exists (the owner exited); the canonical cycle
+    # falls back to the full blocked set so the signature still pins the
+    # stalled acquire
+    assert failure.cycle == canonical_cycle(execution)
+    assert [t for t, _h, _w, _pc in failure.cycle] == ["waiter"]
+    snap = waits_for_snapshot(execution)
+    assert snap["cycle"] is None
+    assert snap["edges"][0]["owner"] == "leaker"
+
+
+# ---------------------------------------------------------------------------
+# hang_failure: the step-budget watchdog
+# ---------------------------------------------------------------------------
+
+def test_hang_failure_classifies_wedge_as_deadlock():
+    execution = wedged_execution()
+    failure = hang_failure(execution)
+    assert failure.kind == "deadlock"
+    assert "step budget" in failure.message
+    # same signature as immediate detection — budget timing is invisible
+    assert failure.signature() == deadlock_failure(execution).signature()
+
+
+def test_hang_failure_budget_exhaustion_without_blocking():
+    bundle = ProgramBundle(get_scenario("bank-transfer").build())
+    execution = bundle.execution(DeterministicScheduler(), max_steps=5)
+    result = execution.run()
+    assert result.status == "stopped"
+    failure = result.failure
+    assert failure is not None and failure.kind == "hang"
+    assert failure.cycle is None
+    assert failure.thread == min(execution.live_threads())
+
+
+def test_hang_failure_none_when_all_exited():
+    bundle = ProgramBundle(get_scenario("bank-transfer").build())
+    execution = bundle.execution(DeterministicScheduler())
+    execution.run()
+    assert hang_failure(execution) is None
