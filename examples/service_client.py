@@ -1,0 +1,77 @@
+"""Quickstart: reproduction as a service, end to end.
+
+Starts the HTTP service in-process (the same server ``python -m repro
+serve`` runs), then walks the full client workflow against it:
+
+1. submit the paper's running example (``fig1``) as a job;
+2. poll until it completes, printing each pipeline stage's wall clock
+   as the service streams it;
+3. fetch the completed report document — byte-identical to what the
+   batch driver (``run_many``) would have produced;
+4. resubmit the identical scenario and watch the service deduplicate
+   it (same canonical job, nothing re-runs);
+5. query the persistent report store by scenario and by failure
+   signature.
+
+The HTTP API reference is ``docs/api.md``; the report document format
+is ``docs/report-schema.md``.
+
+Run:  PYTHONPATH=src python examples/service_client.py
+"""
+
+import json
+import tempfile
+
+from repro.service import JobManager, ServiceClient, ServiceThread
+
+
+def main():
+    store_root = tempfile.mkdtemp(prefix="repro-reports-")
+    manager = JobManager(workers=1, stress_seed_stop=8000,
+                         store=store_root)
+
+    # ServiceThread hosts the asyncio server on a background thread so
+    # synchronous code can drive it; `python -m repro serve` runs the
+    # same server in the foreground instead.
+    with ServiceThread(manager) as handle:
+        base_url = "http://127.0.0.1:%d" % handle.port
+        client = ServiceClient(base_url)
+        print("service up at %s" % base_url)
+        print("registered scenarios: %d" % len(client.scenarios()))
+
+        print("\n[1] submitting fig1 ...")
+        doc = client.submit("fig1")
+        print("    job %s accepted (state: %s)"
+              % (doc["job_id"], doc["state"]))
+
+        print("\n[2] streaming per-stage progress ...")
+        final = client.wait(
+            doc["job_id"], timeout_s=120,
+            on_stage=lambda e: print("    stage %-8s %.3fs"
+                                     % (e["stage"], e["wall_s"])))
+        print("    job finished: %s" % final["state"])
+
+        print("\n[3] fetching the report document ...")
+        report = json.loads(client.report(doc["job_id"]))
+        print("    schema %s, bug %s" % (report["schema"], report["bug"]))
+        for strategy, outcome in report["searches"].items():
+            print("    %-16s reproduced=%s tries=%d"
+                  % (strategy, outcome["reproduced"], outcome["tries"]))
+
+        print("\n[4] resubmitting the identical scenario ...")
+        again = client.submit("fig1")
+        assert again["deduped"] and again["job_id"] == doc["job_id"]
+        print("    deduplicated to job %s (submissions: %d) — "
+              "the pipeline never re-ran"
+              % (again["job_id"], again["submissions"]))
+
+        print("\n[5] querying the report store ...")
+        for entry in client.reports(scenario="fig1"):
+            print("    job %s  signature %s  reproduced=%s"
+                  % (entry["job_id"], entry["signature"],
+                     entry["reproduced"]))
+        print("\nreports persisted under %s" % store_root)
+
+
+if __name__ == "__main__":
+    main()

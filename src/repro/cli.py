@@ -20,6 +20,14 @@ Subcommands
     seeded synth sample cold and warm against a populated index and
     fail unless every warm search needs at most as many tries as cold
     — with exact re-occurrences reproducing on the first try.
+``serve``
+    The long-lived reproduction service: an asyncio HTTP front-end
+    accepting submissions, deduping them by program fingerprint,
+    running supervised jobs on the shared pool, and persisting
+    completed reports in a queryable store (see ``docs/api.md``).
+``submit`` / ``status`` / ``fetch``
+    Thin clients against a running service: submit a scenario, poll a
+    job (optionally until terminal), fetch its report document.
 """
 
 import argparse
@@ -32,7 +40,10 @@ def _build_parser():
         prog="python -m repro",
         description="Multicore-dump concurrency-bug reproduction "
                     "(ASPLOS 2010) — run sessions and manage the crash "
-                    "knowledge base.")
+                    "knowledge base.",
+        epilog="Documentation: docs/architecture.md (subsystem map), "
+               "docs/api.md (HTTP service API), docs/report-schema.md "
+               "(report document reference).")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="reproduce one registered scenario")
@@ -103,6 +114,52 @@ def _build_parser():
     verify.add_argument("--strategy", default="chessX+dep",
                         help="strategy to compare (default chessX+dep)")
     verify.add_argument("--seed-stop", type=int, default=8000, metavar="N")
+
+    serve = sub.add_parser(
+        "serve", help="run the reproduction service (see docs/api.md)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="jobs in flight at once (default 1: serial; "
+                            ">1 uses the supervised shared pool)")
+    serve.add_argument("--kb", metavar="PATH", default=None,
+                       help="knowledge base jobs warm-start from and "
+                            "record into")
+    serve.add_argument("--store", metavar="PATH", default=None,
+                       help="persist completed reports under this root "
+                            "(default: memory only)")
+    serve.add_argument("--spool", metavar="PATH", default=None,
+                       help="progress spool directory (default: temp)")
+    serve.add_argument("--seed-stop", type=int, default=8000, metavar="N",
+                       help="default stress seed sweep bound per job")
+
+    submit = sub.add_parser(
+        "submit", help="submit a scenario to a running service")
+    submit.add_argument("scenario")
+    submit.add_argument("--url", default="http://127.0.0.1:8321",
+                        metavar="URL", help="service base URL")
+    submit.add_argument("--config", metavar="JSON", default=None,
+                        help="config override object, e.g. "
+                             "'{\"preemption_bound\": 3}'")
+    submit.add_argument("--seed-stop", type=int, default=None, metavar="N")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job is terminal, printing "
+                             "stage progress")
+
+    status = sub.add_parser(
+        "status", help="job status from a running service")
+    status.add_argument("job_id", nargs="?", default=None,
+                        help="job id (omit to list all jobs)")
+    status.add_argument("--url", default="http://127.0.0.1:8321",
+                        metavar="URL")
+
+    fetch = sub.add_parser(
+        "fetch", help="fetch a completed job's report document")
+    fetch.add_argument("job_id")
+    fetch.add_argument("--url", default="http://127.0.0.1:8321",
+                       metavar="URL")
+    fetch.add_argument("--out", metavar="PATH", default=None,
+                       help="write the report here (default: stdout)")
     return parser
 
 
@@ -278,6 +335,83 @@ def _cmd_verify_warm(args):
     return 0
 
 
+def _cmd_serve(args):
+    import asyncio
+
+    from .service import JobManager, ReproService
+
+    config = _session_config(kb_path=args.kb, workers=1)
+    manager = JobManager(config=config, workers=args.workers,
+                         stress_seed_stop=args.seed_stop,
+                         store=args.store, spool_dir=args.spool)
+    service = ReproService(manager, host=args.host, port=args.port)
+    print("reproduction service on http://%s:%d (workers=%d, kb=%s, "
+          "store=%s) — API reference: docs/api.md"
+          % (args.host, args.port, args.workers, args.kb or "off",
+             args.store or "memory"))
+    try:
+        asyncio.run(service.serve_forever())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        manager.stop()
+    return 0
+
+
+def _print_stage(event):
+    print("  stage %-8s %.3fs" % (event.get("stage"),
+                                  event.get("wall_s", 0.0)))
+
+
+def _cmd_submit(args):
+    from .service import ServiceClient
+
+    config = json.loads(args.config) if args.config else None
+    client = ServiceClient(args.url)
+    doc = client.submit(args.scenario, config=config,
+                        stress_seed_stop=args.seed_stop)
+    dedup = " (deduplicated: identical submission already exists)" \
+        if doc.get("deduped") else ""
+    print("job %s %s%s" % (doc["job_id"], doc["state"], dedup))
+    if args.wait:
+        final = client.wait(doc["job_id"], on_stage=_print_stage)
+        print("job %s %s" % (final["job_id"], final["state"]))
+        if final.get("error"):
+            print("  error: %s" % final["error"].get("message"))
+        return 0 if final["state"] == "done" else 1
+    return 0
+
+
+def _cmd_status(args):
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job_id:
+        doc = client.job(args.job_id)
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    jobs = client.jobs()
+    print("%-14s %-24s %-10s %s" % ("JOB", "SCENARIO", "STATE", "SUBMITS"))
+    for doc in jobs:
+        print("%-14s %-24s %-10s %d"
+              % (doc["job_id"], doc["scenario"], doc["state"],
+                 doc["submissions"]))
+    return 0
+
+
+def _cmd_fetch(args):
+    from .service import ServiceClient
+
+    text = ServiceClient(args.url).report(args.job_id)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print("report written to %s" % args.out)
+    else:
+        print(text)
+    return 0
+
+
 def main(argv=None):
     args = _build_parser().parse_args(argv)
     handler = {
@@ -286,6 +420,10 @@ def main(argv=None):
         "batch": _cmd_batch,
         "kb": _cmd_kb,
         "verify-warm": _cmd_verify_warm,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "fetch": _cmd_fetch,
     }[args.command]
     return handler(args)
 

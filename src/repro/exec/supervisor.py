@@ -370,6 +370,34 @@ class Supervisor:
 
     # -- the wait loop --------------------------------------------------------
 
+    def drain(self):
+        """Collect every not-yet-delivered terminal task, without blocking.
+
+        Cancelled tasks are never surfaced.  Together with :meth:`tick`
+        this is the non-blocking half of the supervision API: a
+        long-lived driver (the service front-end's dispatcher) that must
+        keep accepting new submissions while work is in flight calls
+        ``tick()`` / ``drain()`` in its own loop instead of parking in
+        :meth:`wait_any`.
+        """
+        fresh = [t for t in self._tasks
+                 if t.state in (_DONE, _FAILED) and not t.delivered]
+        for task in fresh:
+            task.delivered = True
+        return fresh
+
+    def tick(self):
+        """One supervision heartbeat (bounded by ``policy.heartbeat_s``).
+
+        Launches retry-eligible tasks, waits briefly on running futures,
+        absorbs results, and enforces deadlines and pool liveness — the
+        body of :meth:`wait_any`, exposed so external loops can
+        interleave supervision with their own work.  A no-op when
+        nothing is active.
+        """
+        if self.active():
+            self._step()
+
     def wait_any(self):
         """Block until at least one task turns terminal; return those.
 
@@ -378,11 +406,8 @@ class Supervisor:
         ever finish (nothing active).
         """
         while True:
-            fresh = [t for t in self._tasks
-                     if t.state in (_DONE, _FAILED) and not t.delivered]
+            fresh = self.drain()
             if fresh:
-                for task in fresh:
-                    task.delivered = True
                 return fresh
             if not self.active():
                 return []

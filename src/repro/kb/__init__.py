@@ -21,7 +21,8 @@ import time
 
 from .retriever import DEFAULT_LIMIT, KBRetriever, Retrieval
 from .signature import (CrashSignature, extract_signature,
-                        program_fingerprint, signature_of_report)
+                        program_fingerprint, scenario_fingerprint,
+                        signature_of_report)
 from .store import KB_SCHEMA, KBCase, KBStore, KBStoreWarning
 from .warmstart import (DEFAULT_MAX_WARM_PLANS, map_plan, splice_warm_prefix,
                         warm_worklist)
@@ -29,7 +30,8 @@ from .warmstart import (DEFAULT_MAX_WARM_PLANS, map_plan, splice_warm_prefix,
 __all__ = [
     "KB_SCHEMA", "KBCase", "KBStore", "KBStoreWarning", "KBRetriever",
     "Retrieval", "CrashSignature", "KnowledgeBase", "extract_signature",
-    "program_fingerprint", "signature_of_report", "map_plan",
+    "program_fingerprint", "scenario_fingerprint", "signature_of_report",
+    "map_plan",
     "warm_worklist", "splice_warm_prefix", "DEFAULT_MAX_WARM_PLANS",
 ]
 

@@ -133,3 +133,21 @@ def program_fingerprint(program, compiled=None, input_overrides=None):
         parts.append("overrides %r" % (sorted(input_overrides.items()),))
     digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
     return digest.hexdigest()
+
+
+def scenario_fingerprint(scenario):
+    """Fingerprint of a registered scenario (or a name to look up).
+
+    The exact-dedup identity used wherever a *submission* names a
+    scenario instead of handing over a program: the batch driver aliases
+    duplicate entries in one ``run_many`` call, and the service
+    front-end dedups repeat job submissions, both through this one
+    helper so the two layers can never disagree about what "identical"
+    means.
+    """
+    from ..bugs import get_scenario
+
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    return program_fingerprint(scenario.build(),
+                               input_overrides=scenario.input_overrides)

@@ -43,7 +43,7 @@ from ..exec.supervisor import (
     policy_from_config,
     record_degradation,
 )
-from ..kb import program_fingerprint
+from ..kb import scenario_fingerprint
 from ..search.parallel import in_worker
 from .config import ReproductionConfig
 from .report import ReproductionReport
@@ -122,14 +122,31 @@ def _scenario_name(scenario):
     return scenario if isinstance(scenario, str) else scenario.name
 
 
-def _run_one(name, config, stress_seed_stop, fault=None):
+def _notify(progress, stage, session):
+    """Report one completed stage to a progress sink, best effort.
+
+    ``progress`` is any callable of ``(stage, wall_seconds)`` — the
+    service front-end passes a picklable spool writer so the driver
+    process can stream per-stage wall clocks while the job is still
+    running.  A broken sink never fails the session.
+    """
+    if progress is None:
+        return
+    try:
+        progress(stage, session.stage_wall_s.get(stage, 0.0))
+    except Exception:  # noqa: BLE001 — progress is observability only
+        pass
+
+
+def _run_one(name, config, stress_seed_stop, progress=None, fault=None):
     """Worker body: full session for one registered scenario.
 
     Returns ``(name, report_json, error)``.  Module-level so it pickles
     for the process pool; the scenario is re-resolved from the registry
     inside the worker (scenario build callables need not pickle).
     The stages run explicitly (instead of letting :meth:`report` drive
-    them) so a failure is attributed to the phase that raised it.
+    them) so a failure is attributed to the phase that raised it and so
+    ``progress`` — when given — sees every stage transition.
     ``fault`` is a supervisor-injected instruction, honored only inside
     pool workers.
     """
@@ -143,10 +160,16 @@ def _run_one(name, config, stress_seed_stop, fault=None):
                                              stress_seeds=seeds)
         stage = "stress"
         session.acquire_failure()
+        _notify(progress, stage, session)
         stage = "analyze"
         session.analyze_dump()
+        _notify(progress, stage, session)
         stage = "diff"
         session.diff_and_prioritize()
+        _notify(progress, stage, session)
+        stage = "search"
+        session.search_all()
+        _notify(progress, stage, session)
         stage = "report"
         report_json = session.report().to_json()
         stage = "kb"
@@ -154,6 +177,7 @@ def _run_one(name, config, stress_seed_stop, fault=None):
         # the config names an index); workers append through the store's
         # lock + atomic replace, so concurrent sessions never clobber
         session.record_to_kb()
+        _notify(progress, stage, session)
         return corrupt_or(fault, (name, report_json, None))
     except Exception as exc:  # noqa: BLE001 — batch isolates per-bug failures
         return name, None, BatchError(
@@ -167,14 +191,10 @@ def _fingerprint_scenarios(names):
     A scenario whose build raises is left out — ``_run_one`` will
     surface the error through the normal per-bug isolation instead.
     """
-    from ..bugs import get_scenario
-
     fingerprints = {}
     for name in names:
         try:
-            scenario = get_scenario(name)
-            fingerprints[name] = program_fingerprint(
-                scenario.build(), input_overrides=scenario.input_overrides)
+            fingerprints[name] = scenario_fingerprint(name)
         except Exception:  # noqa: BLE001 — defer to _run_one's isolation
             continue
     return fingerprints

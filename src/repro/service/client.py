@@ -1,0 +1,158 @@
+"""A blocking client for the reproduction service.
+
+Built on stdlib ``http.client`` so scripts, tests, and the CLI's
+``submit``/``status``/``fetch`` subcommands need no third-party HTTP
+stack.  Every method maps to one endpoint of the API documented in
+``docs/api.md``; non-2xx responses raise :class:`ServiceError` carrying
+the server's structured error code.
+"""
+
+import json
+import time
+from http.client import HTTPConnection
+from urllib.parse import urlencode, urlsplit
+
+from .jobs import TERMINAL_STATES
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status, code, message):
+        super().__init__("[%d %s] %s" % (status, code, message))
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to one running reproduction service.
+
+    ``base_url`` is e.g. ``http://127.0.0.1:8321``; every request opens
+    a fresh connection (the server closes after each response).
+    """
+
+    def __init__(self, base_url, timeout_s=60.0):
+        split = urlsplit(base_url)
+        if split.scheme not in ("http", ""):
+            raise ValueError("only http:// service URLs are supported")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.timeout_s = timeout_s
+
+    # -- endpoints ----------------------------------------------------------
+
+    def health(self):
+        return self._request("GET", "/healthz")
+
+    def scenarios(self):
+        return self._request("GET", "/v1/scenarios")["scenarios"]
+
+    def submit(self, scenario, config=None, stress_seed_stop=None):
+        """Submit a scenario; returns the job status doc.
+
+        The returned doc carries ``deduped: true`` when an identical
+        live or completed submission already existed — the service
+        returns that canonical job instead of running a second time.
+        """
+        body = {"scenario": scenario}
+        if config:
+            body["config"] = dict(config)
+        if stress_seed_stop is not None:
+            body["stress_seed_stop"] = stress_seed_stop
+        return self._request("POST", "/v1/jobs", body=body)
+
+    def job(self, job_id):
+        return self._request("GET", "/v1/jobs/%s" % job_id)
+
+    def jobs(self, state=None, scenario=None, fingerprint=None):
+        query = _query(state=state, scenario=scenario,
+                       fingerprint=fingerprint)
+        return self._request("GET", "/v1/jobs" + query)["jobs"]
+
+    def cancel(self, job_id):
+        return self._request("DELETE", "/v1/jobs/%s" % job_id)
+
+    def report(self, job_id):
+        """The completed report document text, byte-for-byte."""
+        return self._request("GET", "/v1/jobs/%s/report" % job_id,
+                             raw=True)
+
+    def reports(self, fingerprint=None, signature=None, strategy=None,
+                scenario=None, reproduced=None):
+        query = _query(fingerprint=fingerprint, signature=signature,
+                       strategy=strategy, scenario=scenario,
+                       reproduced=reproduced)
+        return self._request("GET", "/v1/reports" + query)["reports"]
+
+    def stored_report(self, job_id):
+        return self._request("GET", "/v1/reports/%s" % job_id, raw=True)
+
+    # -- conveniences -------------------------------------------------------
+
+    def wait(self, job_id, timeout_s=300.0, poll_s=0.1, on_stage=None):
+        """Poll until the job is terminal; returns the final status doc.
+
+        ``on_stage`` (if given) is called once per newly completed
+        pipeline stage with the stage's progress event dict.
+        """
+        deadline = time.monotonic() + timeout_s
+        seen = 0
+        while True:
+            doc = self.job(job_id)
+            stages = doc.get("stages") or []
+            if on_stage is not None:
+                for event in stages[seen:]:
+                    on_stage(event)
+            seen = len(stages)
+            if doc["state"] in TERMINAL_STATES:
+                return doc
+            if time.monotonic() > deadline:
+                raise TimeoutError("job %s still %s after %.0fs"
+                                   % (job_id, doc["state"], timeout_s))
+            time.sleep(poll_s)
+
+    def run(self, scenario, config=None, stress_seed_stop=None,
+            timeout_s=300.0):
+        """Submit, wait, and fetch the report text in one call."""
+        doc = self.submit(scenario, config=config,
+                          stress_seed_stop=stress_seed_stop)
+        final = self.wait(doc["job_id"], timeout_s=timeout_s)
+        if final["state"] != "done":
+            error = final.get("error") or {}
+            raise ServiceError(500, "job-" + final["state"],
+                               error.get("message", "job did not complete"))
+        return self.report(doc["job_id"])
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _request(self, method, path, body=None, raw=False):
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+        finally:
+            conn.close()
+        if response.status >= 400:
+            try:
+                error = json.loads(data.decode("utf-8"))["error"]
+            except (ValueError, KeyError, UnicodeDecodeError):
+                error = {"code": "unknown", "message": data[:200].decode(
+                    "utf-8", "replace")}
+            raise ServiceError(response.status, error.get("code", "unknown"),
+                               error.get("message", ""))
+        text = data.decode("utf-8")
+        return text if raw else json.loads(text)
+
+
+def _query(**facets):
+    live = {key: value for key, value in facets.items() if value is not None}
+    if "reproduced" in live:
+        live["reproduced"] = "true" if live["reproduced"] else "false"
+    return "?" + urlencode(live) if live else ""

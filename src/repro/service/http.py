@@ -1,0 +1,462 @@
+"""The asyncio HTTP front-end: reproduction as a service.
+
+A deliberately small, dependency-free HTTP/1.1 server over
+``asyncio.start_server`` — the container ships no web framework, and the
+API surface (JSON request/response plus one server-sent-events stream)
+does not need one.  Connections are handled one request each
+(``Connection: close``), bodies are bounded, and every handler
+translates :class:`~repro.service.manager.JobManager` calls into
+status codes; see ``docs/api.md`` for the full reference.
+
+Endpoints
+---------
+==========  ===============================  =====================================
+method      path                             meaning
+==========  ===============================  =====================================
+GET         ``/healthz``                     liveness + queue counters
+GET         ``/v1/scenarios``                registered scenarios
+POST        ``/v1/jobs``                     submit (dedups by fingerprint)
+GET         ``/v1/jobs``                     list jobs (state/scenario/fingerprint)
+GET         ``/v1/jobs/<id>``                job status + per-stage progress
+GET         ``/v1/jobs/<id>/events``         SSE stream of stage progress
+GET         ``/v1/jobs/<id>/report``         the completed report document
+DELETE      ``/v1/jobs/<id>``                cancel
+GET         ``/v1/reports``                  query the persistent store
+GET         ``/v1/reports/<id>``             fetch a stored report
+==========  ===============================  =====================================
+
+Blocking manager work (submission fingerprinting builds and lowers the
+scenario program) runs in a thread via ``asyncio.to_thread`` so the
+event loop keeps serving while a submission is being fingerprinted.
+"""
+
+import asyncio
+import json
+import re
+import threading
+from urllib.parse import parse_qs, urlsplit
+
+from .jobs import TERMINAL_STATES, JobStateError, read_progress
+from .manager import UnknownJobError, UnknownScenarioError
+
+#: request parsing bounds (a service front-end, not a general proxy)
+MAX_HEADER_LINES = 64
+MAX_LINE_BYTES = 8 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+#: SSE poll cadence while a job is still producing stages
+EVENT_POLL_S = 0.1
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict",
+            413: "Payload Too Large", 500: "Internal Server Error"}
+
+_JOB_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)$")
+_JOB_EVENTS_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/events$")
+_JOB_REPORT_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/report$")
+_STORE_REPORT_PATH = re.compile(r"^/v1/reports/([A-Za-z0-9_-]+)$")
+
+
+class HttpError(Exception):
+    """A handler-level failure with a definite status code."""
+
+    def __init__(self, status, code, message):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ReproService:
+    """One HTTP listener bound to one :class:`JobManager`."""
+
+    def __init__(self, manager, host="127.0.0.1", port=0):
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._server = None
+
+    async def start(self):
+        """Bind and start serving; resolves the ephemeral port."""
+        self.manager.start()
+        self._server = await asyncio.start_server(self._handle_connection,
+                                                  self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self):
+        await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        try:
+            try:
+                method, path, query, body = await _read_request(reader)
+            except HttpError as exc:
+                await _write_json(writer, exc.status,
+                                  _error_body(exc.code, exc.message))
+                return
+            except (asyncio.IncompleteReadError, ConnectionError,
+                    ValueError):
+                return  # client hung up or sent garbage mid-request
+            try:
+                await self._dispatch(writer, method, path, query, body)
+            except HttpError as exc:
+                await _write_json(writer, exc.status,
+                                  _error_body(exc.code, exc.message))
+            except Exception as exc:  # noqa: BLE001 — one request, not the server
+                await _write_json(writer, 500, _error_body(
+                    "internal", "%s: %s" % (type(exc).__name__, exc)))
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, writer, method, path, query, body):
+        if path == "/healthz" and method == "GET":
+            return await _write_json(writer, 200, self._health_doc())
+        if path == "/v1/scenarios" and method == "GET":
+            return await _write_json(writer, 200, _scenarios_doc())
+        if path == "/v1/jobs":
+            if method == "POST":
+                return await self._submit(writer, body)
+            if method == "GET":
+                return await _write_json(writer, 200,
+                                         self._jobs_doc(query))
+            raise HttpError(405, "method-not-allowed",
+                            "use POST to submit or GET to list")
+        match = _JOB_EVENTS_PATH.match(path)
+        if match:
+            _require(method, "GET")
+            return await self._stream_events(writer, match.group(1))
+        match = _JOB_REPORT_PATH.match(path)
+        if match:
+            _require(method, "GET")
+            return await self._job_report(writer, match.group(1))
+        match = _JOB_PATH.match(path)
+        if match:
+            if method == "GET":
+                return await _write_json(
+                    writer, 200, self._status(match.group(1)))
+            if method == "DELETE":
+                return await self._cancel(writer, match.group(1))
+            raise HttpError(405, "method-not-allowed",
+                            "use GET for status or DELETE to cancel")
+        match = _STORE_REPORT_PATH.match(path)
+        if match:
+            _require(method, "GET")
+            return await self._stored_report(writer, match.group(1))
+        if path == "/v1/reports" and method == "GET":
+            return await self._query_store(writer, query)
+        raise HttpError(404, "not-found", "no route for %s %s"
+                        % (method, path))
+
+    # -- handlers -----------------------------------------------------------
+
+    def _health_doc(self):
+        jobs = self.manager.jobs()
+        by_state = {}
+        for job in jobs:
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        return {"status": "ok", "workers": self.manager.workers,
+                "jobs": by_state, "store": self.manager.store is not None}
+
+    async def _submit(self, writer, body):
+        doc = _json_body(body)
+        scenario = doc.get("scenario")
+        if not isinstance(scenario, str) or not scenario:
+            raise HttpError(400, "bad-request",
+                            "body must carry a 'scenario' name")
+        overrides = doc.get("config") or {}
+        if not isinstance(overrides, dict):
+            raise HttpError(400, "bad-request", "'config' must be an object")
+        seed_stop = doc.get("stress_seed_stop")
+        try:
+            job, deduped = await asyncio.to_thread(
+                self.manager.submit, scenario, overrides, seed_stop)
+        except UnknownScenarioError as exc:
+            raise HttpError(404, "unknown-scenario", str(exc)) from None
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, "bad-config", str(exc)) from None
+        status_doc = self.manager.status_doc(job.job_id)
+        status_doc["deduped"] = deduped
+        await _write_json(writer, 200 if deduped else 202, status_doc)
+
+    def _jobs_doc(self, query):
+        jobs = self.manager.jobs(state=_one(query, "state"),
+                                 scenario=_one(query, "scenario"),
+                                 fingerprint=_one(query, "fingerprint"))
+        return {"jobs": [job.to_doc() for job in jobs]}
+
+    def _status(self, job_id):
+        try:
+            return self.manager.status_doc(job_id)
+        except UnknownJobError as exc:
+            raise HttpError(404, "unknown-job", str(exc)) from None
+
+    async def _cancel(self, writer, job_id):
+        try:
+            job = self.manager.cancel(job_id)
+        except UnknownJobError as exc:
+            raise HttpError(404, "unknown-job", str(exc)) from None
+        except JobStateError as exc:
+            raise HttpError(409, "job-terminal", str(exc)) from None
+        await _write_json(writer, 200, job.to_doc())
+
+    async def _job_report(self, writer, job_id):
+        try:
+            job = self.manager.job(job_id)
+        except UnknownJobError as exc:
+            raise HttpError(404, "unknown-job", str(exc)) from None
+        if job.state != "done":
+            raise HttpError(409, "job-not-done",
+                            "job %s is %s; a report exists only once done"
+                            % (job_id, job.state))
+        text = await asyncio.to_thread(self.manager.report_json, job_id)
+        await _write_raw(writer, 200, text.encode("utf-8"),
+                         content_type="application/json")
+
+    async def _stored_report(self, writer, job_id):
+        store = self._store()
+        try:
+            text = await asyncio.to_thread(store.fetch, job_id)
+        except KeyError as exc:
+            raise HttpError(404, "unknown-report", str(exc)) from None
+        await _write_raw(writer, 200, text.encode("utf-8"),
+                         content_type="application/json")
+
+    async def _query_store(self, writer, query):
+        store = self._store()
+        reproduced = _one(query, "reproduced")
+        if reproduced is not None:
+            reproduced = reproduced.lower() in ("1", "true", "yes")
+        entries = await asyncio.to_thread(
+            store.query,
+            fingerprint=_one(query, "fingerprint"),
+            signature=_one(query, "signature"),
+            strategy=_one(query, "strategy"),
+            scenario=_one(query, "scenario"),
+            reproduced=reproduced)
+        await _write_json(writer, 200, {"reports": entries})
+
+    def _store(self):
+        if self.manager.store is None:
+            raise HttpError(404, "no-store",
+                            "this service runs without a report store")
+        return self.manager.store
+
+    async def _stream_events(self, writer, job_id):
+        """Server-sent events: one ``data:`` frame per stage, then state.
+
+        Replays stages already spooled, then follows the spool until the
+        job turns terminal; the final frame carries the terminal state
+        so a client needs no extra status round-trip.
+        """
+        try:
+            job = self.manager.job(job_id)
+        except UnknownJobError as exc:
+            raise HttpError(404, "unknown-job", str(exc)) from None
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: text/event-stream\r\n"
+                     b"Cache-Control: no-cache\r\n"
+                     b"Connection: close\r\n\r\n")
+        await writer.drain()
+        sent = 0
+        while True:
+            events = read_progress(job.progress_path)
+            for event in events[sent:]:
+                await _write_sse(writer, "stage", event)
+            sent = len(events)
+            if job.state in TERMINAL_STATES:
+                await _write_sse(writer, "end", job.to_doc())
+                return
+            await asyncio.sleep(EVENT_POLL_S)
+
+
+# ---------------------------------------------------------------------------
+# request/response plumbing
+# ---------------------------------------------------------------------------
+
+async def _read_request(reader):
+    line = await reader.readline()
+    if not line:
+        raise ValueError("empty request")
+    if len(line) > MAX_LINE_BYTES:
+        raise HttpError(400, "bad-request", "request line too long")
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise HttpError(400, "bad-request", "malformed request line")
+    method, target, _version = parts
+    headers = {}
+    for _ in range(MAX_HEADER_LINES):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(line) > MAX_LINE_BYTES:
+            raise HttpError(400, "bad-request", "header line too long")
+        name, _sep, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, "bad-request", "too many headers")
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise HttpError(400, "bad-request",
+                        "malformed Content-Length") from None
+    if length > MAX_BODY_BYTES:
+        # drain (bounded) before erroring, else closing the socket RSTs
+        # the still-sending client before it can read the 413
+        remaining = min(length, 8 * MAX_BODY_BYTES)
+        while remaining > 0:
+            chunk = await reader.read(min(65536, remaining))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+        raise HttpError(413, "payload-too-large",
+                        "body exceeds %d bytes" % MAX_BODY_BYTES)
+    body = await reader.readexactly(length) if length else b""
+    split = urlsplit(target)
+    return method.upper(), split.path, parse_qs(split.query), body
+
+
+def _json_body(body):
+    if not body:
+        raise HttpError(400, "bad-request", "a JSON body is required")
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise HttpError(400, "bad-json", "body is not valid JSON: %s"
+                        % exc) from None
+    if not isinstance(doc, dict):
+        raise HttpError(400, "bad-json", "body must be a JSON object")
+    return doc
+
+
+def _one(query, key):
+    values = query.get(key)
+    return values[0] if values else None
+
+
+def _require(method, expected):
+    if method != expected:
+        raise HttpError(405, "method-not-allowed", "use %s" % expected)
+
+
+def _error_body(code, message):
+    return {"error": {"code": code, "message": message}}
+
+
+def _scenarios_doc():
+    from ..bugs import all_scenarios
+
+    return {"scenarios": [
+        {"name": s.name, "kind": s.kind, "fault": s.expected_fault,
+         "tags": sorted(s.tags)}
+        for s in all_scenarios()]}
+
+
+async def _write_json(writer, status, doc):
+    payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+    await _write_raw(writer, status, payload,
+                     content_type="application/json")
+
+
+async def _write_raw(writer, status, payload, content_type="text/plain"):
+    reason = _REASONS.get(status, "Unknown")
+    head = ("HTTP/1.1 %d %s\r\n"
+            "Content-Type: %s\r\n"
+            "Content-Length: %d\r\n"
+            "Connection: close\r\n\r\n"
+            % (status, reason, content_type, len(payload)))
+    writer.write(head.encode("latin-1") + payload)
+    await writer.drain()
+
+
+async def _write_sse(writer, event, doc):
+    frame = "event: %s\ndata: %s\n\n" % (event,
+                                         json.dumps(doc, sort_keys=True))
+    writer.write(frame.encode("utf-8"))
+    await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# thread harness (tests, examples, and embedding)
+# ---------------------------------------------------------------------------
+
+class ServiceThread:
+    """Run a :class:`ReproService` on a dedicated event-loop thread.
+
+    The blocking-world adapter used by the test suite, the quickstart
+    example, and anyone embedding the service next to synchronous code::
+
+        with ServiceThread(JobManager()) as handle:
+            client = ServiceClient("http://127.0.0.1:%d" % handle.port)
+
+    ``python -m repro serve`` runs the asyncio loop directly instead.
+    """
+
+    def __init__(self, manager, host="127.0.0.1", port=0):
+        self.service = ReproService(manager, host=host, port=port)
+        self._loop = None
+        self._thread = None
+        self._ready = threading.Event()
+        self._startup_error = None
+
+    @property
+    def port(self):
+        return self.service.port
+
+    def start(self):
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-service-http",
+                                        daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("service failed to start within 10s")
+        return self
+
+    def stop(self):
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            asyncio.run_coroutine_threadsafe(self.service.stop(),
+                                             loop).result(timeout=10.0)
+            loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.service.manager.stop()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+    def _run(self):
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            try:
+                loop.run_until_complete(self.service.start())
+            except Exception as exc:  # noqa: BLE001 — surface to start()
+                self._startup_error = exc
+                return
+            finally:
+                self._ready.set()
+            loop.run_forever()
+        finally:
+            loop.close()

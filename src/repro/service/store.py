@@ -1,0 +1,229 @@
+"""The service's persistent, queryable report store.
+
+Completed :class:`~repro.pipeline.report.ReproductionReport` documents
+are persisted one file per job under ``<root>/reports/<job_id>.json``
+(byte-for-byte the worker's ``to_json`` output, so a fetched report
+round-trips through ``ReproductionReport.from_json`` unchanged), with a
+small versioned index (``<root>/index.json``, schema
+:data:`STORE_SCHEMA`) carrying the queryable facets per job:
+
+* ``fingerprint`` — the canonical program fingerprint of the submission,
+* ``signature`` — the failure's reproduction signature
+  (:func:`signature_key`: kind + PC for crashes, kind + canonical
+  waits-for cycle for hangs), the same identity every search strategy
+  matches on,
+* ``strategies`` — per-strategy reproduction verdicts,
+* ``scenario``, ``reproduced``, ``finished_at``.
+
+Writes are atomic (temp file + ``os.replace``) and the store is
+**single-writer by design** — one service process owns a store root (the
+knowledge base, which *is* written concurrently by pool workers, keeps
+its own lock-file protocol in :mod:`repro.kb.store`).  Reads are
+self-healing: a missing or corrupt index is rebuilt by re-scanning the
+report files, so losing ``index.json`` never loses a report.
+"""
+
+import json
+import os
+import tempfile
+
+from ..lang.errors import DumpError
+
+#: schema tag of the store index document
+STORE_SCHEMA = "repro.jobs/1"
+
+
+def signature_key(failure_doc):
+    """Canonical string key of a report's failure signature.
+
+    Mirrors :meth:`repro.runtime.events.Failure.signature` over the
+    *serialized* failure block: hangs key on their canonical waits-for
+    cycle, crashes on their PC.  Returns ``None`` for a report without a
+    failure block.
+    """
+    if not failure_doc:
+        return None
+    if failure_doc.get("cycle"):
+        ident = failure_doc["cycle"]
+    else:
+        ident = failure_doc.get("pc")
+    return json.dumps([failure_doc.get("kind"), ident], sort_keys=True,
+                      separators=(",", ":"))
+
+
+def _entry_from_report(job_doc, report_doc):
+    """One index entry from a job's metadata + its parsed report."""
+    searches = report_doc.get("searches") or {}
+    strategies = {name: bool(outcome.get("reproduced"))
+                  for name, outcome in searches.items()}
+    return {
+        "job_id": job_doc["job_id"],
+        "scenario": report_doc.get("bug", job_doc.get("scenario")),
+        "fingerprint": job_doc.get("fingerprint"),
+        "config_key": job_doc.get("config_key"),
+        "signature": signature_key(report_doc.get("failure")),
+        "strategies": strategies,
+        "reproduced": any(strategies.values()),
+        "schema": report_doc.get("schema"),
+        "finished_at": job_doc.get("finished_at"),
+    }
+
+
+class ReportStore:
+    """Persist and query completed reports, one service process each."""
+
+    def __init__(self, root):
+        self.root = str(root)
+        self.reports_dir = os.path.join(self.root, "reports")
+        os.makedirs(self.reports_dir, exist_ok=True)
+        self._index_path = os.path.join(self.root, "index.json")
+        self._entries = None
+
+    # -- writing ------------------------------------------------------------
+
+    def put(self, job, report_json):
+        """Persist one completed job's report; returns its index entry.
+
+        ``job`` is the :class:`~repro.service.jobs.JobRecord` (only its
+        identity fields are read), ``report_json`` the exact document
+        text the worker produced — stored verbatim.
+        """
+        report_doc = json.loads(report_json)
+        job_doc = {"job_id": job.job_id, "scenario": job.scenario,
+                   "fingerprint": job.fingerprint,
+                   "config_key": job.config_key,
+                   "finished_at": job.finished_at}
+        entry = _entry_from_report(job_doc, report_doc)
+        self._atomic_write(self._report_path(job.job_id), report_json)
+        entries = self.entries()
+        entries[job.job_id] = entry
+        self._atomic_write(self._index_path, json.dumps(
+            {"schema": STORE_SCHEMA, "jobs": entries},
+            sort_keys=True, indent=2))
+        return entry
+
+    # -- reading ------------------------------------------------------------
+
+    def entries(self):
+        """``{job_id: index entry}``, loaded once and cached."""
+        if self._entries is None:
+            self._entries = self._load_index()
+        return self._entries
+
+    def fetch(self, job_id):
+        """The stored report document text; raises ``KeyError`` if absent."""
+        path = self._report_path(job_id)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return fh.read()
+        except OSError:
+            raise KeyError("no stored report for job %r" % (job_id,)) \
+                from None
+
+    def query(self, fingerprint=None, signature=None, strategy=None,
+              scenario=None, reproduced=None):
+        """Index entries matching every given facet, newest first.
+
+        ``strategy`` keeps entries whose report ran that strategy at
+        all; combine with ``reproduced=True`` to require that strategy
+        (or any, when ``strategy`` is None) to have reproduced.
+        """
+        hits = []
+        for entry in self.entries().values():
+            if fingerprint is not None \
+                    and entry.get("fingerprint") != fingerprint:
+                continue
+            if signature is not None and entry.get("signature") != signature:
+                continue
+            if scenario is not None and entry.get("scenario") != scenario:
+                continue
+            strategies = entry.get("strategies") or {}
+            if strategy is not None:
+                if strategy not in strategies:
+                    continue
+                if reproduced is not None \
+                        and strategies[strategy] is not bool(reproduced):
+                    continue
+            elif reproduced is not None \
+                    and entry.get("reproduced") is not bool(reproduced):
+                continue
+            hits.append(entry)
+        hits.sort(key=lambda e: (-(e.get("finished_at") or 0.0),
+                                 e["job_id"]))
+        return hits
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _report_path(self, job_id):
+        safe = "".join(ch for ch in job_id if ch.isalnum() or ch in "-_")
+        if not safe or safe != job_id:
+            raise DumpError("malformed job id %r" % (job_id,))
+        return os.path.join(self.reports_dir, safe + ".json")
+
+    def _atomic_write(self, path, text):
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _load_index(self):
+        try:
+            with open(self._index_path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            if doc.get("schema") == STORE_SCHEMA \
+                    and isinstance(doc.get("jobs"), dict):
+                return dict(doc["jobs"])
+        except (OSError, ValueError):
+            pass
+        # missing or corrupt index: rebuild from the report files, so
+        # the index is a cache — never the source of truth
+        return self._rebuild_index()
+
+    def _rebuild_index(self):
+        entries = {}
+        try:
+            names = sorted(os.listdir(self.reports_dir))
+        except OSError:
+            return entries
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            job_id = name[:-len(".json")]
+            try:
+                with open(os.path.join(self.reports_dir, name), "r",
+                          encoding="utf-8") as fh:
+                    report_doc = json.load(fh)
+            except (OSError, ValueError):
+                continue  # a torn report file should not sink the index
+            mtime = os.path.getmtime(os.path.join(self.reports_dir, name))
+            entries[job_id] = _entry_from_report(
+                {"job_id": job_id, "scenario": report_doc.get("bug"),
+                 "fingerprint": _refingerprint(report_doc.get("bug")),
+                 "config_key": None, "finished_at": mtime},
+                report_doc)
+        return entries
+
+
+def _refingerprint(scenario_name):
+    """Best-effort fingerprint recovery during an index rebuild.
+
+    The report document does not carry the fingerprint (it is submission
+    metadata, not reproduction output), but for a still-registered
+    scenario it is recomputable; an unknown or unbuildable scenario
+    leaves the facet None rather than failing the rebuild.
+    """
+    if not scenario_name:
+        return None
+    try:
+        from ..kb import scenario_fingerprint
+        return scenario_fingerprint(scenario_name)
+    except Exception:  # noqa: BLE001 — the index is a best-effort cache
+        return None

@@ -1,0 +1,124 @@
+"""The persistent report store: verbatim round-trips, facet queries,
+and the self-healing index."""
+
+import json
+import os
+
+import pytest
+
+from repro.lang.errors import DumpError
+from repro.service import JobManager, ReportStore, signature_key
+from repro.service.jobs import JobRecord
+
+
+def _job(job_id, scenario="fig1", fingerprint="fp-1", finished_at=100.0):
+    job = JobRecord(job_id=job_id, scenario=scenario,
+                    fingerprint=fingerprint, config_key="{}")
+    job.finished_at = finished_at
+    return job
+
+
+def _report(bug="fig1", kind="assert", pc=7, cycle=None,
+            searches=None):
+    failure = {"kind": kind, "pc": pc}
+    if cycle is not None:
+        failure["cycle"] = cycle
+    if searches is None:
+        searches = {"chess": {"reproduced": True},
+                    "chessX+dep": {"reproduced": False}}
+    return json.dumps({"schema": "repro.report/1.3", "bug": bug,
+                       "failure": failure, "searches": searches},
+                      sort_keys=True)
+
+
+def test_put_fetch_verbatim(tmp_path):
+    store = ReportStore(tmp_path / "store")
+    text = _report()
+    entry = store.put(_job("aaa111"), text)
+    assert store.fetch("aaa111") == text  # byte-for-byte
+    assert entry["scenario"] == "fig1"
+    assert entry["reproduced"] is True
+    assert entry["strategies"] == {"chess": True, "chessX+dep": False}
+    with pytest.raises(KeyError):
+        store.fetch("bbb222")
+
+
+def test_malformed_job_ids_rejected(tmp_path):
+    store = ReportStore(tmp_path / "store")
+    for bad in ("../escape", "a/b", "", "dot.dot"):
+        with pytest.raises(DumpError):
+            store.fetch(bad)
+
+
+def test_signature_key_crash_vs_hang():
+    crash = signature_key({"kind": "assert", "pc": 12})
+    assert json.loads(crash) == ["assert", 12]
+    hang = signature_key({"kind": "deadlock", "pc": None,
+                          "cycle": [["t0", "l1"], ["t1", "l0"]]})
+    assert json.loads(hang) == ["deadlock", [["t0", "l1"], ["t1", "l0"]]]
+    assert signature_key(None) is None
+    assert signature_key({}) is None
+
+
+def test_query_facets(tmp_path):
+    store = ReportStore(tmp_path / "store")
+    store.put(_job("job-a", scenario="fig1", fingerprint="fp-1",
+                   finished_at=10.0), _report(bug="fig1", pc=7))
+    store.put(_job("job-b", scenario="mysql-1", fingerprint="fp-2",
+                   finished_at=20.0),
+              _report(bug="mysql-1", pc=9,
+                      searches={"chess": {"reproduced": False}}))
+    store.put(_job("job-c", scenario="fig1", fingerprint="fp-1",
+                   finished_at=30.0), _report(bug="fig1", pc=7))
+
+    assert [e["job_id"] for e in store.query()] \
+        == ["job-c", "job-b", "job-a"]  # newest first
+    assert [e["job_id"] for e in store.query(fingerprint="fp-1")] \
+        == ["job-c", "job-a"]
+    assert [e["job_id"] for e in store.query(scenario="mysql-1")] \
+        == ["job-b"]
+    sig = signature_key({"kind": "assert", "pc": 9})
+    assert [e["job_id"] for e in store.query(signature=sig)] == ["job-b"]
+    assert [e["job_id"] for e in store.query(reproduced=True)] \
+        == ["job-c", "job-a"]
+    assert [e["job_id"] for e in store.query(strategy="chess",
+                                             reproduced=False)] == ["job-b"]
+    assert store.query(strategy="no-such-strategy") == []
+
+
+def test_index_rebuilds_from_report_files(tmp_path):
+    root = tmp_path / "store"
+    store = ReportStore(root)
+    store.put(_job("job-a"), _report())
+    store.put(_job("job-b", scenario="mysql-1"), _report(bug="mysql-1"))
+    os.unlink(root / "index.json")  # lose the index entirely
+
+    reborn = ReportStore(root)
+    entries = reborn.entries()
+    assert set(entries) == {"job-a", "job-b"}
+    assert entries["job-a"]["scenario"] == "fig1"
+    assert reborn.fetch("job-a") == _report()
+    # a registered scenario's fingerprint is recovered on rebuild
+    assert entries["job-a"]["fingerprint"] is not None
+
+
+def test_corrupt_index_and_torn_report_tolerated(tmp_path):
+    root = tmp_path / "store"
+    store = ReportStore(root)
+    store.put(_job("job-a"), _report())
+    (root / "index.json").write_text("{ not json")
+    (root / "reports" / "torn.json").write_text('{"bug": "fi')
+
+    reborn = ReportStore(root)
+    assert set(reborn.entries()) == {"job-a"}
+
+
+def test_manager_serves_from_store_after_memory_loss(tmp_path):
+    """A report survives the manager: a fresh manager over the same
+    store root still serves it by job id."""
+    store_root = str(tmp_path / "store")
+    store = ReportStore(store_root)
+    store.put(_job("job-a"), _report())
+    manager = JobManager(store=store_root,
+                         spool_dir=str(tmp_path / "spool"))
+    assert manager.store.fetch("job-a") == _report()

@@ -1,0 +1,70 @@
+"""Fail on dead relative links in the repo's markdown documentation.
+
+Checks every ``[text](target)`` in the given markdown files (default:
+``README.md`` and ``docs/*.md``) whose target is a *relative path* —
+external URLs and mailto links are out of scope — and exits nonzero if
+any target does not exist relative to the file that links it.
+Fragment-only links (``#section``) and fragments on existing files
+(``architecture.md#subsystems``) are accepted; anchors themselves are
+not verified.
+
+Run:  python tools/check_links.py [files...]
+"""
+
+import glob
+import os
+import re
+import sys
+
+#: inline markdown links; images share the syntax via a leading ``!``
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _targets(text):
+    for match in _LINK.finditer(text):
+        yield match.group(1)
+
+
+def check_file(path):
+    """Dead relative link targets of one markdown file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    base = os.path.dirname(os.path.abspath(path))
+    dead = []
+    for target in _targets(text):
+        if target.startswith(_EXTERNAL):
+            continue
+        if target.startswith("#"):
+            continue  # intra-document anchor
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not os.path.exists(os.path.join(base, relative)):
+            dead.append(target)
+    return dead
+
+
+def main(argv=None):
+    paths = list(argv or [])
+    if not paths:
+        paths = ["README.md"] + sorted(glob.glob("docs/*.md"))
+    missing_files = [path for path in paths if not os.path.exists(path)]
+    if missing_files:
+        print("no such file: %s" % ", ".join(missing_files))
+        return 2
+    failures = 0
+    for path in paths:
+        for target in check_file(path):
+            print("%s: dead link -> %s" % (path, target))
+            failures += 1
+    if failures:
+        print("%d dead link(s) across %d file(s)" % (failures, len(paths)))
+        return 1
+    print("all relative links resolve (%d file(s) checked)" % len(paths))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
